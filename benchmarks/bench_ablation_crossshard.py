@@ -1,0 +1,84 @@
+"""Ablation: consensus latency vs. the MaxShard bottleneck.
+
+Fig. 4(a) compares the two schemes with consensus speed unified, so the
+message gap of Fig. 4(b) never hits the clock. This ablation closes the
+loop by charging every ChainSpace cross-shard transaction the S-BAC
+round-trip latency, then sweeping the workload's multi-input fraction.
+
+Two honest findings emerge:
+
+* for contract-local traffic our advantage is large — ChainSpace's
+  hash-based object placement makes almost *every* transaction
+  cross-shard, so it pays consensus latency pervasively while we pay
+  none;
+* as the multi-input fraction grows, our advantage shrinks: those
+  transactions all serialize inside the MaxShard, which becomes the
+  bottleneck — precisely the overhead the paper's conclusion earmarks
+  as future work ("the storage overhead of miners in the MaxShard").
+"""
+
+from __future__ import annotations
+
+from repro.baselines.chainspace import ChainSpaceModel
+from repro.core.shard_formation import partition_transactions
+from repro.experiments.common import specs_from_partition
+from repro.sim.config import SimulationConfig, TimingModel
+from repro.sim.simulator import ShardedSimulation
+from repro.workloads.generators import (
+    three_input_workload,
+    uniform_contract_workload,
+)
+
+TIMING = TimingModel.low_variance(interval=1.0, shape=24.0)
+SBAC_ROUND_TRIP = 0.5  # seconds of consensus latency per cross-shard tx batch
+
+
+def mixed_workload(total: int, cross_fraction: float, seed: int):
+    cross = int(total * cross_fraction)
+    local = uniform_contract_workload(total - cross, contract_shards=8, seed=seed)
+    multi = three_input_workload(cross, seed=seed + 1)
+    return local + multi
+
+
+def ours_makespan(txs, seed: int) -> float:
+    partition = partition_transactions(txs)
+    specs = specs_from_partition(partition.by_shard)
+    return ShardedSimulation(
+        specs, SimulationConfig(timing=TIMING, seed=seed)
+    ).run().makespan
+
+
+def chainspace_makespan(txs, seed: int) -> float:
+    model = ChainSpaceModel(shard_count=9, seed=seed)
+    result = model.run_throughput(
+        txs, config=SimulationConfig(timing=TIMING, seed=seed)
+    )
+    comm = model.count_communication(txs)
+    # Each cross-shard transaction serializes one S-BAC round trip into
+    # its shard's pipeline; per-shard added latency = trips * RTT spread
+    # over the shard count (consensus overlaps with mining elsewhere).
+    extra = comm.cross_shard_transactions * SBAC_ROUND_TRIP / 9
+    return result.makespan + extra
+
+
+def test_ablation_cross_shard_time_penalty(benchmark):
+    print("\n[ablation] cross-shard tx fraction vs makespan (ours / ChainSpace)")
+    advantages = {}
+    for fraction in (0.0, 0.25, 0.5):
+        ours = sum(ours_makespan(mixed_workload(360, fraction, s), s) for s in range(3))
+        theirs = sum(
+            chainspace_makespan(mixed_workload(360, fraction, s), s) for s in range(3)
+        )
+        advantages[fraction] = theirs / ours
+        print(f"  cross fraction={fraction:.2f}: ChainSpace/ours makespan "
+              f"ratio = {advantages[fraction]:.2f}")
+    # We stay ahead everywhere, but the MaxShard bottleneck erodes the
+    # lead as multi-input traffic grows (the paper's future-work concern).
+    assert all(ratio > 1.0 for ratio in advantages.values())
+    assert advantages[0.0] > advantages[0.5]
+
+    benchmark.pedantic(
+        lambda: chainspace_makespan(mixed_workload(360, 0.5, 7), 7),
+        rounds=3,
+        iterations=1,
+    )

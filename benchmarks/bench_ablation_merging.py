@@ -1,0 +1,99 @@
+"""Ablations on the inter-shard merging design (DESIGN.md Sec. 6).
+
+* incentive strength: how the cost/reward ratio C/G shapes the number
+  and size of new shards;
+* subslot count M: Monte-Carlo sample size vs. convergence slots;
+* random-baseline retry budget: the one-shot reading vs. an idealized
+  retry-forever variant.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.baselines.random_merge import RandomizedMerging
+from repro.core.merging.algorithm import IterativeMerging, OneTimeMerge
+from repro.core.merging.game import MergingGameConfig, ShardPlayer
+from repro.workloads.distributions import random_small_shard_sizes
+
+
+def _players(count: int, seed: int, cost: float) -> list[ShardPlayer]:
+    sizes = random_small_shard_sizes(count, seed=seed)
+    return [ShardPlayer(i, s, cost) for i, s in enumerate(sizes, start=1)]
+
+
+def test_ablation_incentive_strength(benchmark):
+    """Shard counts as the merging cost approaches the reward."""
+    rows = []
+    for cost in (1.0, 3.0, 5.0, 8.0):
+        config = MergingGameConfig(shard_reward=10.0, lower_bound=10, subslots=16)
+        counts = [
+            IterativeMerging(config, seed=seed)
+            .run(_players(8, seed, cost))
+            .new_shard_count
+            for seed in range(10)
+        ]
+        rows.append((cost, statistics.mean(counts)))
+    print("\n[ablation] cost C vs mean new shards (G=10, L=10, 8 small shards)")
+    for cost, count in rows:
+        print(f"  C={cost:>4}: {count:.2f}")
+    # All regimes with C < G still merge.
+    assert all(count > 0 for __, count in rows)
+
+    benchmark.pedantic(
+        lambda: IterativeMerging(
+            MergingGameConfig(shard_reward=10.0, lower_bound=10, subslots=16),
+            seed=1,
+        ).run(_players(8, 1, 5.0)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_ablation_subslot_count(benchmark):
+    """M controls payoff-estimate noise: more subslots, fewer slots."""
+    print("\n[ablation] subslots M vs convergence slots (mean over 10 seeds)")
+    results = {}
+    for subslots in (4, 16, 64):
+        config = MergingGameConfig(
+            shard_reward=10.0, lower_bound=10, subslots=subslots
+        )
+        slots = [
+            OneTimeMerge(config, seed=seed).run(_players(8, seed, 5.0)).slots_used
+            for seed in range(10)
+        ]
+        results[subslots] = statistics.mean(slots)
+        print(f"  M={subslots:>3}: {results[subslots]:.1f} slots")
+    # A usable sample size always converges within the budget.
+    assert all(v < 400 for v in results.values())
+
+    benchmark.pedantic(
+        lambda: OneTimeMerge(
+            MergingGameConfig(shard_reward=10.0, lower_bound=10, subslots=16), seed=2
+        ).run(_players(8, 2, 5.0)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_ablation_random_retry_budget(benchmark):
+    """The baseline's strength knob (see Fig. 3g calibration)."""
+    config = MergingGameConfig(shard_reward=10.0, lower_bound=10)
+    print("\n[ablation] random-merge retry budget vs mean new shards")
+    means = {}
+    for attempts in (1, 3, 16):
+        counts = [
+            RandomizedMerging(config, seed=seed, max_attempts_per_round=attempts)
+            .run(_players(8, seed, 5.0))
+            .new_shard_count
+            for seed in range(20)
+        ]
+        means[attempts] = statistics.mean(counts)
+        print(f"  attempts={attempts:>2}: {means[attempts]:.2f}")
+    assert means[16] >= means[1]
+
+    benchmark.pedantic(
+        lambda: RandomizedMerging(config, seed=3).run(_players(8, 3, 5.0)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,52 @@
+"""Ablation: per-miner storage, contract-centric vs. full replication.
+
+Quantifies the Sec. VII claim ("the storage cost is significantly
+reduced") and the Sec. III-C call-graph query-cost argument on the
+Sec. VI-B1 workload family.
+"""
+
+from __future__ import annotations
+
+from repro.core.shard_formation import partition_transactions
+from repro.core.storage import classification_query_cost, storage_profile
+from repro.workloads.generators import uniform_contract_workload
+
+
+def test_ablation_storage_footprint(benchmark):
+    print("\n[ablation] per-miner storage (tx records), 2000-tx workloads")
+    reductions = {}
+    for contracts in (2, 4, 8, 16):
+        txs = uniform_contract_workload(2_000, contracts, seed=contracts)
+        partition = partition_transactions(txs)
+        layout = {shard: 1 for shard in partition.by_shard}
+        report = storage_profile(partition, layout)
+        reductions[contracts] = report.reduction_vs_full_replication
+        print(
+            f"  {contracts:>2} contracts: full={report.per_miner_full_replication:7.0f}  "
+            f"contract-centric={report.per_miner_contract_sharding:7.1f}  "
+            f"saving={report.reduction_vs_full_replication:.0%}"
+        )
+    assert reductions[16] > reductions[2] > 0.0
+
+    txs = uniform_contract_workload(2_000, 8, seed=99)
+    partition = partition_transactions(txs)
+    layout = {shard: 1 for shard in partition.by_shard}
+    benchmark.pedantic(
+        lambda: storage_profile(partition, layout), rounds=5, iterations=10
+    )
+
+
+def test_ablation_query_cost(benchmark):
+    print("\n[ablation] sender classification: history scan vs call graph")
+    for history in (10_000, 100_000, 1_000_000):
+        report = classification_query_cost(history, sender_degree=2)
+        print(
+            f"  history={history:>9}: scan={report.history_scan_operations:>9} ops, "
+            f"call graph={report.callgraph_operations} ops "
+            f"({report.speedup:,.0f}x)"
+        )
+        assert report.speedup >= history / 2
+
+    benchmark.pedantic(
+        lambda: classification_query_cost(1_000_000, 2), rounds=5, iterations=100
+    )

@@ -1,0 +1,47 @@
+"""Ablation: communication with vs. without parameter unification.
+
+Without unification, every slot of Algorithm 3 ends with each player
+broadcasting her statistics to the other players (Sec. IV-C's motivation:
+"it will be costive for miners to communicate with each other"). With
+unification the whole process costs two leader round-trips per shard.
+"""
+
+from __future__ import annotations
+
+from repro.core.merging.algorithm import OneTimeMerge
+from repro.core.merging.game import MergingGameConfig, ShardPlayer
+from repro.core.unification import unification_message_count
+from repro.workloads.distributions import random_small_shard_sizes
+
+
+def gaming_message_count(players: int, slots: int) -> int:
+    """Messages for a naive (non-unified) run of Algorithm 3.
+
+    Each slot, each player sends "the statistic data and its selection"
+    to every other player: slots * players * (players - 1) messages.
+    """
+    return slots * players * (players - 1)
+
+
+def test_ablation_unification_messages(benchmark):
+    config = MergingGameConfig(shard_reward=10.0, lower_bound=10, subslots=16)
+    print("\n[ablation] merging communication: naive gaming vs unification")
+    for count in (4, 8, 16):
+        sizes = random_small_shard_sizes(count, seed=count)
+        players = [ShardPlayer(i, s, 5.0) for i, s in enumerate(sizes, 1)]
+        outcome = OneTimeMerge(config, seed=count).run(players)
+        naive = gaming_message_count(count, outcome.slots_used)
+        unified_total = unification_message_count(count) * count
+        print(
+            f"  {count:>2} shards: naive={naive:>7} messages "
+            f"({outcome.slots_used} slots), unified={unified_total}"
+        )
+        assert unified_total < naive
+
+    benchmark.pedantic(
+        lambda: OneTimeMerge(config, seed=1).run(
+            [ShardPlayer(i, 5, 5.0) for i in range(1, 9)]
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig1d."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig1d(benchmark):
+    reproduce(benchmark, "fig1d")

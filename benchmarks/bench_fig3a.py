@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig3a."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig3a(benchmark):
+    reproduce(benchmark, "fig3a")

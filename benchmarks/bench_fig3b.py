@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig3b."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig3b(benchmark):
+    reproduce(benchmark, "fig3b")

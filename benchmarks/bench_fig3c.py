@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig3c."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig3c(benchmark):
+    reproduce(benchmark, "fig3c")

@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig3d."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig3d(benchmark):
+    reproduce(benchmark, "fig3d")

@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig3e."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig3e(benchmark):
+    reproduce(benchmark, "fig3e")

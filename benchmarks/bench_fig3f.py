@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig3f."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig3f(benchmark):
+    reproduce(benchmark, "fig3f")

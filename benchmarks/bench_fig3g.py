@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig3g."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig3g(benchmark):
+    reproduce(benchmark, "fig3g")

@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig3h."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig3h(benchmark):
+    reproduce(benchmark, "fig3h")

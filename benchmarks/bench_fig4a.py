@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig4a."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig4a(benchmark):
+    reproduce(benchmark, "fig4a")

@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig4b."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig4b(benchmark):
+    reproduce(benchmark, "fig4b")

@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig4c."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig4c(benchmark):
+    reproduce(benchmark, "fig4c")

@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig5a."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig5a(benchmark):
+    reproduce(benchmark, "fig5a")

@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's fig5b."""
+
+from benchmarks.common import reproduce
+
+
+def test_fig5b(benchmark):
+    reproduce(benchmark, "fig5b")

@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the Sec. IV-D security numbers."""
+
+from benchmarks.common import reproduce
+
+
+def test_security(benchmark):
+    reproduce(benchmark, "security")

@@ -1,0 +1,7 @@
+"""Benchmark + reproduction of the paper's table1."""
+
+from benchmarks.common import reproduce
+
+
+def test_table1(benchmark):
+    reproduce(benchmark, "table1")

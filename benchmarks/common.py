@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Each ``bench_*`` module reproduces one table/figure: it runs the full
+experiment, prints the same rows/series the paper reports, persists them
+under ``benchmarks/results/``, and times the experiment kernel with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.experiments import run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def reproduce(benchmark, experiment_id: str, seed: int = 0) -> None:
+    """Run one paper artifact end to end and record its reproduction."""
+    result = run_experiment(experiment_id, quick=False, seed=seed)
+    text = result.to_table() + "\n" + "\n".join(result.summary_lines())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    # The timed kernel is the quick configuration: representative of the
+    # computation, small enough to keep the benchmark suite snappy.
+    benchmark.pedantic(
+        lambda: run_experiment(experiment_id, quick=True, seed=seed),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )

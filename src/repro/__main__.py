@@ -1,0 +1,88 @@
+"""Command-line entry point: reproduce paper artifacts from the shell.
+
+Usage::
+
+    python -m repro list                 # show available experiment ids
+    python -m repro run fig3a            # full reproduction of Fig. 3(a)
+    python -m repro run table1 --quick   # trimmed configuration
+    python -m repro all --quick          # sweep everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import experiment_ids, run_experiment
+
+
+def _print_result(result) -> None:
+    print(result.to_table())
+    for line in result.summary_lines()[1:]:
+        print(line)
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of 'On Sharding Open "
+        "Blockchains with Smart Contracts' (ICDE 2020).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=experiment_ids())
+    run_parser.add_argument("--quick", action="store_true", help="trimmed sweep")
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--quick", action="store_true", help="trimmed sweeps")
+    all_parser.add_argument("--seed", type=int, default=0)
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a markdown reproduction report"
+    )
+    report_parser.add_argument(
+        "--output", default="-", help="output path ('-' for stdout)"
+    )
+    report_parser.add_argument("--full", action="store_true", help="full sweeps")
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument(
+        "--only", nargs="*", choices=experiment_ids(), help="subset of experiments"
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+
+    if args.command == "run":
+        _print_result(run_experiment(args.experiment, quick=args.quick, seed=args.seed))
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report(
+            ids=args.only or None, quick=not args.full, seed=args.seed
+        )
+        if args.output == "-":
+            print(text)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"report written to {args.output}")
+        return 0
+
+    for experiment_id in experiment_ids():
+        _print_result(run_experiment(experiment_id, quick=args.quick, seed=args.seed))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

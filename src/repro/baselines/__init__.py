@@ -1,0 +1,33 @@
+"""Comparison schemes from the evaluation section.
+
+* :mod:`repro.baselines.ethereum` — the non-sharding design (Sec. VI-A's
+  benchmark): every miner validates the same fee-ordered transactions.
+* :mod:`repro.baselines.chainspace` — the ChainSpace model: random
+  transaction placement plus S-BAC cross-shard consensus, with message
+  accounting (Fig. 4a/4b).
+* :mod:`repro.baselines.random_merge` — the p=0.5 randomized merging the
+  paper compares against in Sec. VI-C2.
+* :mod:`repro.baselines.optimal` — the optimal references of Sec. VI-E.
+"""
+
+from repro.baselines.ethereum import ethereum_spec, run_ethereum
+from repro.baselines.chainspace import (
+    ChainSpaceModel,
+    ChainSpaceCommunication,
+)
+from repro.baselines.random_merge import RandomizedMerging, RandomMergeResult
+from repro.baselines.optimal import (
+    optimal_new_shard_count,
+    optimal_distinct_set_count,
+)
+
+__all__ = [
+    "ethereum_spec",
+    "run_ethereum",
+    "ChainSpaceModel",
+    "ChainSpaceCommunication",
+    "RandomizedMerging",
+    "RandomMergeResult",
+    "optimal_new_shard_count",
+    "optimal_distinct_set_count",
+]

@@ -1,0 +1,45 @@
+"""The Ethereum (non-sharding) baseline.
+
+Every miner keeps the whole mempool and greedily selects the highest-fee
+transactions, so confirmation is fully serialized (Sec. II-B): the system
+is one greedy lane whose block interval follows the retargeted network
+rate. This is the ``W_E`` denominator of every throughput-improvement
+figure.
+"""
+
+from __future__ import annotations
+
+from repro.chain.transaction import Transaction
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import ShardGroupSpec, ShardedSimulation, SimulationResult
+
+#: The shard id reported for the single non-sharded group.
+ETHEREUM_SHARD_ID = 0
+
+
+def ethereum_spec(
+    transactions: list[Transaction], miner_count: int
+) -> ShardGroupSpec:
+    """A one-shard greedy spec holding the entire network."""
+    miners = tuple(f"eth-miner-{i}" for i in range(miner_count))
+    return ShardGroupSpec(
+        shard_id=ETHEREUM_SHARD_ID,
+        miners=miners,
+        transactions=tuple(transactions),
+        mode="greedy",
+    )
+
+
+def run_ethereum(
+    transactions: list[Transaction],
+    miner_count: int,
+    config: SimulationConfig | None = None,
+) -> SimulationResult:
+    """Run the non-sharded baseline and return its metrics.
+
+    The makespan is ``W_E``, the waiting time until every injected
+    transaction is validated.
+    """
+    spec = ethereum_spec(transactions, miner_count)
+    simulation = ShardedSimulation([spec], config=config)
+    return simulation.run()

@@ -1,0 +1,35 @@
+"""Optimal references for the Sec. VI-E large-scale simulations."""
+
+from __future__ import annotations
+
+from repro.errors import MergingError, SelectionError
+
+
+def optimal_new_shard_count(shard_sizes: list[int], lower_bound: int) -> int:
+    """The Fig. 5(a) optimum: ``#transactions / L``.
+
+    "The system throughput is maximized when the size of all the new
+    shards is L ... i.e., the number of small shards is #transactions/L."
+    """
+    if lower_bound <= 0:
+        raise MergingError("lower bound L must be positive")
+    if any(size < 0 for size in shard_sizes):
+        raise MergingError("shard sizes cannot be negative")
+    return sum(shard_sizes) // lower_bound
+
+
+def optimal_distinct_set_count(
+    miner_count: int, tx_count: int, capacity: int = 1
+) -> int:
+    """The Fig. 5(b) optimum: every miner validates a different set.
+
+    "The optimal situation happens when all the miners validate different
+    sets of transactions. In this way, the number of transaction sets is
+    the same as the number of miners" — capped by how many disjoint
+    ``capacity``-sized sets the workload can supply.
+    """
+    if miner_count < 0 or tx_count < 0:
+        raise SelectionError("counts cannot be negative")
+    if capacity <= 0:
+        raise SelectionError("capacity must be positive")
+    return min(miner_count, max(tx_count // capacity, 1) if tx_count else 0)

@@ -1,0 +1,130 @@
+"""The user/contract call graph and sender classification.
+
+Sec. III-C: "A more elegant way is to let miners maintain the call graph
+among smart contracts and users locally. In this way, miners can check the
+call graph instead of remotely referring to the whole history." The paper
+defers the call-graph design to future work; we implement it here as the
+sender-classification oracle the sharding core plugs in.
+
+The graph is bipartite-ish: user nodes connect to the contract nodes they
+have invoked, and to user nodes they have transacted with directly. A
+sender is *single-contract* (shardable) iff her neighbourhood is exactly
+one contract node.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import networkx as nx
+
+from repro.chain.transaction import Transaction, TransactionKind
+
+_KIND_KEY = "kind"
+_USER = "user"
+_CONTRACT = "contract"
+
+
+class SenderClass(enum.Enum):
+    """The three sender patterns of Fig. 1."""
+
+    SINGLE_CONTRACT = "single_contract"  # Fig. 1(a): shardable
+    MULTI_CONTRACT = "multi_contract"  # Fig. 1(b): MaxShard
+    DIRECT_SENDER = "direct_sender"  # Fig. 1(c): MaxShard
+    UNKNOWN = "unknown"  # never seen a transaction
+
+
+class CallGraph:
+    """Tracks which contracts and users each sender has interacted with."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def observe(self, tx: Transaction) -> None:
+        """Record one transaction's sender/target edge."""
+        self._graph.add_node(tx.sender, **{_KIND_KEY: _USER})
+        if tx.kind is TransactionKind.CONTRACT_CALL:
+            self._graph.add_node(tx.contract, **{_KIND_KEY: _CONTRACT})
+            self._graph.add_edge(tx.sender, tx.contract)
+        else:
+            self._graph.add_node(tx.recipient, **{_KIND_KEY: _USER})
+            self._graph.add_edge(tx.sender, tx.recipient)
+
+    def observe_many(self, txs: list[Transaction]) -> None:
+        for tx in txs:
+            self.observe(tx)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def contracts_of(self, sender: str) -> set[str]:
+        """Contracts the sender has ever invoked."""
+        if sender not in self._graph:
+            return set()
+        return {
+            peer
+            for peer in self._graph.neighbors(sender)
+            if self._graph.nodes[peer].get(_KIND_KEY) == _CONTRACT
+        }
+
+    def direct_peers_of(self, sender: str) -> set[str]:
+        """Users the sender has transacted with directly."""
+        if sender not in self._graph:
+            return set()
+        return {
+            peer
+            for peer in self._graph.neighbors(sender)
+            if self._graph.nodes[peer].get(_KIND_KEY) == _USER
+        }
+
+    def classify(self, sender: str) -> SenderClass:
+        """Classify a sender into one of the Fig. 1 patterns."""
+        if sender not in self._graph:
+            return SenderClass.UNKNOWN
+        if self.direct_peers_of(sender):
+            return SenderClass.DIRECT_SENDER
+        contracts = self.contracts_of(sender)
+        if len(contracts) == 1:
+            return SenderClass.SINGLE_CONTRACT
+        if len(contracts) > 1:
+            return SenderClass.MULTI_CONTRACT
+        return SenderClass.UNKNOWN
+
+    def is_single_contract(self, sender: str) -> bool:
+        """The shardability predicate of Sec. II-C."""
+        return self.classify(sender) is SenderClass.SINGLE_CONTRACT
+
+    def sole_contract_of(self, sender: str) -> str | None:
+        """The unique contract of a single-contract sender, else None."""
+        if not self.is_single_contract(sender):
+            return None
+        (contract,) = self.contracts_of(sender)
+        return contract
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def user_count(self) -> int:
+        return sum(
+            1
+            for __, data in self._graph.nodes(data=True)
+            if data.get(_KIND_KEY) == _USER
+        )
+
+    def contract_count(self) -> int:
+        return sum(
+            1
+            for __, data in self._graph.nodes(data=True)
+            if data.get(_KIND_KEY) == _CONTRACT
+        )
+
+    def classification_histogram(self) -> dict[SenderClass, int]:
+        """How many senders fall into each Fig. 1 pattern."""
+        histogram = {cls: 0 for cls in SenderClass}
+        for node, data in self._graph.nodes(data=True):
+            if data.get(_KIND_KEY) == _USER:
+                histogram[self.classify(node)] += 1
+        return histogram

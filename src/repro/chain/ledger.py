@@ -1,0 +1,138 @@
+"""The ledger: a fork-aware chain of blocks per shard.
+
+Miners record blocks "locally in the form of linked lists, called ledgers"
+(Sec. II-A). The ledger tracks every received block, applies the
+longest-chain fork-choice rule used by PoW chains, and exposes the
+statistics the evaluation needs: confirmed transactions, empty blocks and
+stale (orphaned) blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.block import Block, GENESIS_PARENT
+from repro.errors import LedgerError
+
+
+@dataclass
+class _ChainEntry:
+    block: Block
+    height: int
+    parent: str | None
+
+
+class Ledger:
+    """A per-shard block store with longest-chain fork choice.
+
+    The ledger accepts any block whose parent it knows (forks included)
+    and keeps the head at the tip of the longest chain, breaking ties by
+    earliest arrival — the behaviour that makes simultaneous duplicate
+    blocks from fee-greedy miners waste work (Table I's saturation).
+    """
+
+    def __init__(self, shard_id: int = 0) -> None:
+        self.shard_id = shard_id
+        genesis = Block.genesis(shard_id)
+        self._entries: dict[str, _ChainEntry] = {
+            genesis.block_hash: _ChainEntry(block=genesis, height=0, parent=None)
+        }
+        self._genesis_hash = genesis.block_hash
+        self._head_hash = genesis.block_hash
+        self._arrival_order: dict[str, int] = {genesis.block_hash: 0}
+        self._arrivals = 1
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def add_block(self, block: Block) -> bool:
+        """Insert a block; returns True iff it became the new head.
+
+        Raises :class:`LedgerError` when the parent is unknown or the
+        block was already inserted.
+        """
+        block_hash = block.block_hash
+        if block_hash in self._entries:
+            raise LedgerError(f"duplicate block {block_hash[:10]}")
+        parent = block.header.parent_hash
+        if parent not in self._entries:
+            raise LedgerError(
+                f"block {block_hash[:10]} references unknown parent {parent[:10]}"
+            )
+        height = self._entries[parent].height + 1
+        self._entries[block_hash] = _ChainEntry(
+            block=block, height=height, parent=parent
+        )
+        self._arrival_order[block_hash] = self._arrivals
+        self._arrivals += 1
+
+        head_height = self._entries[self._head_hash].height
+        if height > head_height:
+            self._head_hash = block_hash
+            return True
+        return False
+
+    def knows(self, block_hash: str) -> bool:
+        return block_hash in self._entries
+
+    # ------------------------------------------------------------------
+    # chain views
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> Block:
+        """The block at the tip of the canonical (longest) chain."""
+        return self._entries[self._head_hash].block
+
+    @property
+    def head_hash(self) -> str:
+        return self._head_hash
+
+    @property
+    def height(self) -> int:
+        """Height of the canonical chain head (genesis = 0)."""
+        return self._entries[self._head_hash].height
+
+    def canonical_chain(self) -> list[Block]:
+        """The canonical chain, genesis first."""
+        chain: list[Block] = []
+        cursor: str | None = self._head_hash
+        while cursor is not None:
+            entry = self._entries[cursor]
+            chain.append(entry.block)
+            cursor = entry.parent
+        chain.reverse()
+        return chain
+
+    def canonical_hashes(self) -> set[str]:
+        """Hashes of every block on the canonical chain."""
+        return {block.block_hash for block in self.canonical_chain()}
+
+    def all_blocks(self) -> list[Block]:
+        """Every block ever inserted, including orphans (genesis first)."""
+        ordered = sorted(self._arrival_order.items(), key=lambda item: item[1])
+        return [self._entries[block_hash].block for block_hash, __ in ordered]
+
+    # ------------------------------------------------------------------
+    # statistics used by the evaluation
+    # ------------------------------------------------------------------
+    def confirmed_transactions(self) -> list:
+        """Transactions on the canonical chain, oldest block first."""
+        txs = []
+        for block in self.canonical_chain():
+            txs.extend(block.transactions)
+        return txs
+
+    def confirmed_tx_ids(self) -> set[str]:
+        return {tx.tx_id for tx in self.confirmed_transactions()}
+
+    def count_empty_blocks(self, *, canonical_only: bool = True) -> int:
+        """Number of empty non-genesis blocks (the wasted-power metric)."""
+        blocks = self.canonical_chain() if canonical_only else self.all_blocks()
+        return sum(
+            1 for block in blocks if block.is_empty and block.header.height > 0
+        )
+
+    def count_stale_blocks(self) -> int:
+        """Blocks that lost the fork race (mined but not canonical)."""
+        canonical = self.canonical_hashes()
+        return sum(1 for h in self._entries if h not in canonical)

@@ -1,0 +1,74 @@
+"""The mempool: unvalidated transactions a miner tracks.
+
+"Miners in a blockchain system keep track of unvalidated transactions ...
+miners always select transactions with the highest fees" (Sec. II-B). The
+mempool therefore offers fee-ordered selection (the serializing behaviour
+the paper criticises) alongside plain set operations the sharding core
+uses to install game-assigned selections.
+"""
+
+from __future__ import annotations
+
+from repro.chain.transaction import Transaction
+
+
+class Mempool:
+    """An ordered pool of pending transactions."""
+
+    def __init__(self) -> None:
+        self._pool: dict[str, Transaction] = {}
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._pool
+
+    def add(self, tx: Transaction) -> bool:
+        """Insert a transaction; returns False when already present."""
+        if tx.tx_id in self._pool:
+            return False
+        self._pool[tx.tx_id] = tx
+        return True
+
+    def add_many(self, txs: list[Transaction]) -> int:
+        """Insert many transactions; returns how many were new."""
+        return sum(1 for tx in txs if self.add(tx))
+
+    def remove(self, tx_id: str) -> Transaction | None:
+        """Remove and return a transaction, or None when absent."""
+        return self._pool.pop(tx_id, None)
+
+    def remove_confirmed(self, tx_ids: set[str]) -> int:
+        """Drop every transaction confirmed elsewhere; returns the count."""
+        present = tx_ids & self._pool.keys()
+        for tx_id in present:
+            del self._pool[tx_id]
+        return len(present)
+
+    def pending(self) -> list[Transaction]:
+        """All pending transactions in insertion order."""
+        return list(self._pool.values())
+
+    def select_by_fee(self, limit: int) -> list[Transaction]:
+        """The fee-greedy selection every miner defaults to (Sec. II-B).
+
+        Ties break on tx id so that *all* miners produce the identical
+        ordering — exactly the duplicated-selection pathology the paper's
+        congestion game removes.
+        """
+        if limit < 0:
+            raise ValueError("selection limit must be non-negative")
+        ranked = sorted(self._pool.values(), key=lambda tx: (-tx.fee, tx.tx_id))
+        return ranked[:limit]
+
+    def select_ids(self, tx_ids: list[str]) -> list[Transaction]:
+        """Materialise a game-assigned selection, skipping confirmed ids."""
+        return [self._pool[tx_id] for tx_id in tx_ids if tx_id in self._pool]
+
+    def clear(self) -> None:
+        self._pool.clear()
+
+    def total_fees(self) -> int:
+        """Sum of pending fees (the congestion game's resource pool)."""
+        return sum(tx.fee for tx in self._pool.values())

@@ -1,0 +1,173 @@
+"""World state: accounts, contracts, and state transitions.
+
+Each miner in the paper keeps a *local ledger* of the states relevant to
+her shard; MaxShard miners keep the whole thing. :class:`WorldState` is
+that per-miner view — a mapping of addresses to accounts and deployed
+contracts, plus the ``apply_transaction`` state-transition function that
+enforces balances, nonces and contract conditions (the double-spending
+checks the sharding argument rests on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.account import Account, AccountKind
+from repro.chain.contract import SmartContract
+from repro.chain.transaction import Transaction, TransactionKind
+from repro.errors import (
+    InsufficientBalanceError,
+    NonceError,
+    UnknownAccountError,
+    UnknownContractError,
+    ValidationError,
+)
+
+
+@dataclass
+class WorldState:
+    """A mutable account/contract store with a state-transition function."""
+
+    accounts: dict[str, Account] = field(default_factory=dict)
+    contracts: dict[str, SmartContract] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # account management
+    # ------------------------------------------------------------------
+    def create_account(self, address: str, balance: int = 0) -> Account:
+        """Create a user account; idempotent when it already exists."""
+        if address in self.accounts:
+            return self.accounts[address]
+        account = Account(address=address, kind=AccountKind.USER, balance=balance)
+        self.accounts[address] = account
+        return account
+
+    def deploy_contract(self, contract: SmartContract, balance: int = 0) -> None:
+        """Deploy a contract: registers both contract code and its account."""
+        self.contracts[contract.address] = contract
+        self.accounts[contract.address] = Account(
+            address=contract.address, kind=AccountKind.CONTRACT, balance=balance
+        )
+
+    def account(self, address: str) -> Account:
+        """Look up an account, raising :class:`UnknownAccountError` if absent."""
+        try:
+            return self.accounts[address]
+        except KeyError:
+            raise UnknownAccountError(address) from None
+
+    def contract(self, address: str) -> SmartContract:
+        """Look up a contract, raising :class:`UnknownContractError` if absent."""
+        try:
+            return self.contracts[address]
+        except KeyError:
+            raise UnknownContractError(address) from None
+
+    def balance_of(self, address: str) -> int:
+        """Balance of ``address`` (0 for unknown accounts, like Ethereum)."""
+        account = self.accounts.get(address)
+        return account.balance if account is not None else 0
+
+    def has_account(self, address: str) -> bool:
+        return address in self.accounts
+
+    # ------------------------------------------------------------------
+    # state transition
+    # ------------------------------------------------------------------
+    def can_apply(self, tx: Transaction) -> bool:
+        """Check a transaction without mutating state."""
+        try:
+            self._check(tx)
+        except ValidationError:
+            return False
+        return True
+
+    def _check(self, tx: Transaction) -> None:
+        sender = self.account(tx.sender)
+        if tx.nonce != sender.nonce:
+            raise NonceError(
+                f"tx {tx.short_id()}: nonce {tx.nonce} != account nonce {sender.nonce}"
+            )
+        total_cost = tx.amount + tx.fee
+        if sender.balance < total_cost:
+            raise InsufficientBalanceError(
+                f"tx {tx.short_id()}: sender balance {sender.balance} < {total_cost}"
+            )
+        if tx.kind is TransactionKind.CONTRACT_CALL:
+            contract = self.contract(tx.contract)
+            if not contract.can_execute(self):
+                raise ValidationError(
+                    f"tx {tx.short_id()}: contract {tx.contract[:10]} condition not met"
+                )
+
+    def apply_transaction(self, tx: Transaction, miner: str | None = None) -> None:
+        """Apply ``tx``: move value, pay the fee, bump the sender nonce.
+
+        Contract calls route value through the contract account to the
+        contract's recorded beneficiary (the paper's "transaction between
+        user A and that smart contract account"). Raises a
+        :class:`ValidationError` subclass and leaves state untouched when
+        the transaction is invalid.
+        """
+        self._check(tx)
+        sender = self.account(tx.sender)
+        sender.debit(tx.amount + tx.fee)
+        sender.bump_nonce()
+
+        if tx.kind is TransactionKind.CONTRACT_CALL:
+            contract = self.contract(tx.contract)
+            contract.record_invocation()
+            beneficiary_addr = contract.beneficiary
+        else:
+            beneficiary_addr = tx.recipient
+
+        beneficiary = self.accounts.get(beneficiary_addr)
+        if beneficiary is None:
+            beneficiary = self.create_account(beneficiary_addr)
+        beneficiary.credit(tx.amount)
+
+        if miner is not None and tx.fee:
+            miner_account = self.accounts.get(miner)
+            if miner_account is None:
+                miner_account = self.create_account(miner)
+            miner_account.credit(tx.fee)
+
+    def apply_block_body(
+        self, transactions: tuple[Transaction, ...], miner: str
+    ) -> list[Transaction]:
+        """Apply every valid transaction in a block body, in order.
+
+        Returns the transactions that failed validation (a correct miner
+        produces none; the list is how block validation detects cheaters).
+        """
+        rejected: list[Transaction] = []
+        for tx in transactions:
+            try:
+                self.apply_transaction(tx, miner=miner)
+            except ValidationError:
+                rejected.append(tx)
+        return rejected
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "WorldState":
+        """Deep-copy the state for speculative validation or replays."""
+        clone = WorldState()
+        clone.accounts = {
+            addr: account.snapshot() for addr, account in self.accounts.items()
+        }
+        clone.contracts = {
+            addr: SmartContract(
+                address=c.address,
+                beneficiary=c.beneficiary,
+                condition=c.condition,
+                invocation_count=c.invocation_count,
+            )
+            for addr, c in self.contracts.items()
+        }
+        return clone
+
+    def total_supply(self) -> int:
+        """Sum of all balances — conserved by fee-recycling transitions."""
+        return sum(account.balance for account in self.accounts.values())

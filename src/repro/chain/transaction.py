@@ -1,0 +1,122 @@
+"""Transactions.
+
+The paper distinguishes three sender patterns (Sec. II-C, Fig. 1):
+
+* a user invoking exactly one smart contract (shardable — Fig. 1a),
+* a user invoking several contracts (MaxShard — Fig. 1b),
+* a user transacting with another user directly (MaxShard — Fig. 1c).
+
+A :class:`Transaction` therefore records its *kind* (contract call vs.
+direct transfer), the contract it targets when applicable, a fee, and the
+shard-relevant metadata used throughout the sharding core. Cross-shard
+experiments (Fig. 4b) additionally need multi-input transactions, modelled
+with ``extra_inputs``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import hash_items
+
+_tx_counter = itertools.count()
+
+
+class TransactionKind(enum.Enum):
+    """How a transaction moves value."""
+
+    CONTRACT_CALL = "contract_call"
+    DIRECT_TRANSFER = "direct_transfer"
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable signed transaction.
+
+    Parameters
+    ----------
+    sender:
+        Address of the externally-owned sender account.
+    recipient:
+        Final value recipient. For contract calls this is the beneficiary
+        recorded inside the contract; for direct transfers the counterparty.
+    amount:
+        Value moved, in integer units.
+    fee:
+        Transaction fee the confirming miner collects (Eq. 2's ``f_j``).
+    kind:
+        Contract call or direct transfer.
+    contract:
+        Contract address for ``CONTRACT_CALL`` transactions, else ``None``.
+    nonce:
+        Sender's account nonce at submission time.
+    extra_inputs:
+        Additional accounts whose state is read during validation; a
+        3-input transaction (Fig. 4b) carries two extra inputs.
+    """
+
+    sender: str
+    recipient: str
+    amount: int
+    fee: int
+    kind: TransactionKind = TransactionKind.CONTRACT_CALL
+    contract: str | None = None
+    nonce: int = 0
+    extra_inputs: tuple[str, ...] = ()
+    tx_id: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ValueError("transaction amount must be non-negative")
+        if self.fee < 0:
+            raise ValueError("transaction fee must be non-negative")
+        if self.kind is TransactionKind.CONTRACT_CALL and self.contract is None:
+            raise ValueError("contract calls must name a contract address")
+        if self.kind is TransactionKind.DIRECT_TRANSFER and self.contract is not None:
+            raise ValueError("direct transfers must not name a contract")
+        if not self.tx_id:
+            serial = next(_tx_counter)
+            object.__setattr__(
+                self,
+                "tx_id",
+                hash_items(
+                    [
+                        self.sender,
+                        self.recipient,
+                        self.amount,
+                        self.fee,
+                        self.kind.value,
+                        self.contract,
+                        self.nonce,
+                        self.extra_inputs,
+                        serial,
+                    ],
+                    domain="tx",
+                ),
+            )
+
+    @property
+    def input_accounts(self) -> tuple[str, ...]:
+        """All accounts read to validate this transaction.
+
+        Used by the ChainSpace baseline: a transaction whose inputs span k
+        shards triggers k-shard cross-shard consensus.
+        """
+        return (self.sender,) + self.extra_inputs
+
+    @property
+    def is_contract_call(self) -> bool:
+        return self.kind is TransactionKind.CONTRACT_CALL
+
+    def short_id(self) -> str:
+        """First 10 hex digits of the tx id — handy in logs and reprs."""
+        return self.tx_id[:10]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        target = self.contract if self.is_contract_call else self.recipient
+        return (
+            f"Transaction({self.short_id()}, {self.sender[:8]}->{target[:8]}, "
+            f"amount={self.amount}, fee={self.fee})"
+        )

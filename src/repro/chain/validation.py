@@ -1,0 +1,125 @@
+"""Transaction and block validation.
+
+Implements the two verifications of Sec. III-C performed when a miner X
+receives a block packed by miner Y:
+
+1. X verifies that Y really corresponds to the ShardID in the block
+   header (shard-membership check, delegated to a pluggable verifier);
+2. X checks whether she is in the same shard as Y — only then does she
+   record the block locally.
+
+Plus the stateful transaction checks (balances, nonces, contract
+conditions) against a :class:`~repro.chain.state.WorldState`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chain.block import Block
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.errors import ValidationError
+
+# A shard-membership verifier: (miner public key, claimed shard id) -> bool.
+ShardMembershipVerifier = Callable[[str, int], bool]
+
+
+@dataclass(frozen=True)
+class TxVerdict:
+    """The outcome of validating one transaction."""
+
+    tx: Transaction
+    valid: bool
+    reason: str = ""
+
+
+class TransactionValidator:
+    """Stateful transaction validation against a world state."""
+
+    def __init__(self, state: WorldState) -> None:
+        self._state = state
+
+    def validate(self, tx: Transaction) -> TxVerdict:
+        """Check a transaction without mutating the state."""
+        try:
+            self._state._check(tx)
+        except ValidationError as exc:
+            return TxVerdict(tx=tx, valid=False, reason=str(exc))
+        return TxVerdict(tx=tx, valid=True)
+
+    def validate_batch(self, txs: list[Transaction]) -> list[TxVerdict]:
+        """Validate a batch *sequentially* against a speculative state.
+
+        Later transactions see the effects of earlier ones (nonce order,
+        spent balances) — the check a miner runs before packing a block.
+        """
+        speculative = self._state.snapshot()
+        verdicts: list[TxVerdict] = []
+        for tx in txs:
+            try:
+                speculative.apply_transaction(tx)
+            except ValidationError as exc:
+                verdicts.append(TxVerdict(tx=tx, valid=False, reason=str(exc)))
+            else:
+                verdicts.append(TxVerdict(tx=tx, valid=True))
+        return verdicts
+
+
+@dataclass(frozen=True)
+class BlockVerdict:
+    """The outcome of the Sec. III-C block checks."""
+
+    accepted: bool
+    recorded: bool
+    reason: str = ""
+
+
+class BlockValidator:
+    """The receive-side block checks a miner runs (Sec. III-C).
+
+    Parameters
+    ----------
+    own_shard:
+        The validating miner's own ShardID.
+    membership_verifier:
+        Publicly-checkable predicate that the packing miner belongs to the
+        shard claimed in the header — in the full system this is the
+        VRF/RandHound verification of :mod:`repro.core.miner_assignment`.
+    """
+
+    def __init__(
+        self,
+        own_shard: int,
+        membership_verifier: ShardMembershipVerifier,
+    ) -> None:
+        self._own_shard = own_shard
+        self._membership_verifier = membership_verifier
+
+    def inspect(self, block: Block) -> BlockVerdict:
+        """Run both Sec. III-C verifications on an incoming block.
+
+        ``accepted`` means the block is well-formed and the packer's shard
+        claim verified; ``recorded`` additionally means the block belongs
+        to *this* miner's shard and should be added to the local ledger.
+        """
+        if not block.commits_to_body():
+            return BlockVerdict(
+                accepted=False, recorded=False, reason="tx root does not match body"
+            )
+        claimed_shard = block.header.shard_id
+        if not self._membership_verifier(block.header.miner, claimed_shard):
+            return BlockVerdict(
+                accepted=False,
+                recorded=False,
+                reason=(
+                    f"miner {block.header.miner[:10]} is not a member of "
+                    f"claimed shard {claimed_shard}"
+                ),
+            )
+        if claimed_shard != self._own_shard:
+            return BlockVerdict(
+                accepted=True, recorded=False, reason="block from a different shard"
+            )
+        return BlockVerdict(accepted=True, recorded=True)

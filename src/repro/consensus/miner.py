@@ -1,0 +1,115 @@
+"""Miner identities and packing behaviors.
+
+A miner is a key pair plus a *behavior* deciding which pending
+transactions to pack next. The paper contrasts three behaviors:
+
+* fee-greedy (default Ethereum — everyone picks the same set, Sec. II-B);
+* game-assigned (the congestion-game selection of Sec. IV-B, installed via
+  parameter unification);
+* cheating variants used by the security experiments (claiming a wrong
+  shard, packing non-assigned transactions).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import Transaction
+from repro.crypto.keys import KeyPair
+
+
+@dataclass(frozen=True)
+class MinerIdentity:
+    """A miner's stable identity: key pair plus a human-readable name."""
+
+    name: str
+    keypair: KeyPair
+
+    @classmethod
+    def create(cls, name: str) -> "MinerIdentity":
+        return cls(name=name, keypair=KeyPair.from_seed(f"miner\x1f{name}"))
+
+    @property
+    def public(self) -> str:
+        return self.keypair.public
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MinerIdentity({self.name})"
+
+
+class MinerBehavior(abc.ABC):
+    """Strategy object: which transactions does this miner pack next?"""
+
+    @abc.abstractmethod
+    def pick_transactions(self, mempool: Mempool, capacity: int) -> list[Transaction]:
+        """Return at most ``capacity`` transactions to pack into a block."""
+
+    def claimed_shard(self, true_shard: int) -> int:
+        """The ShardID the miner writes into her block headers.
+
+        Honest miners claim their true shard; cheating behaviors override.
+        """
+        return true_shard
+
+
+class HonestBehavior(MinerBehavior):
+    """Fee-greedy honest miner: the Ethereum default of Sec. II-B."""
+
+    def pick_transactions(self, mempool: Mempool, capacity: int) -> list[Transaction]:
+        return mempool.select_by_fee(capacity)
+
+
+class AssignedSelectionBehavior(MinerBehavior):
+    """Packs exactly the transaction set the selection game assigned.
+
+    The assignment arrives through parameter unification, so the behavior
+    holds the *ids*; confirmed transactions silently drop out of the set.
+    """
+
+    def __init__(self, assigned_tx_ids: list[str]) -> None:
+        self._assigned = list(assigned_tx_ids)
+
+    @property
+    def assigned_tx_ids(self) -> list[str]:
+        return list(self._assigned)
+
+    def reassign(self, assigned_tx_ids: list[str]) -> None:
+        self._assigned = list(assigned_tx_ids)
+
+    def pick_transactions(self, mempool: Mempool, capacity: int) -> list[Transaction]:
+        picked = mempool.select_ids(self._assigned)
+        return picked[:capacity]
+
+
+class ShardLiarBehavior(MinerBehavior):
+    """A cheater claiming membership of a shard she was not assigned to.
+
+    Honest receivers run the membership verification of Sec. III-C and
+    reject her blocks — the failure-injection path of the security tests.
+    """
+
+    def __init__(self, fake_shard: int, inner: MinerBehavior | None = None) -> None:
+        self._fake_shard = fake_shard
+        self._inner = inner or HonestBehavior()
+
+    def pick_transactions(self, mempool: Mempool, capacity: int) -> list[Transaction]:
+        return self._inner.pick_transactions(mempool, capacity)
+
+    def claimed_shard(self, true_shard: int) -> int:
+        return self._fake_shard
+
+
+class SelectionLiarBehavior(MinerBehavior):
+    """A cheater ignoring the unified selection and grabbing top fees.
+
+    Under parameter unification every honest miner can recompute the
+    assignment locally and reject this miner's blocks (Sec. IV-C).
+    """
+
+    def __init__(self) -> None:
+        self._greedy = HonestBehavior()
+
+    def pick_transactions(self, mempool: Mempool, capacity: int) -> list[Transaction]:
+        return self._greedy.pick_transactions(mempool, capacity)

@@ -1,0 +1,102 @@
+"""Proof-of-Work timing model.
+
+In PoW, the time a miner with hash rate ``h`` needs to find a block at
+difficulty ``d`` is exponentially distributed with mean ``d / h``. The
+paper pins two operating points on c5.large machines:
+
+* difficulty ``0x40000`` — "a miner can pack one block in one minute on
+  average" (Sec. VI-B1, VI-C, VI-D);
+* difficulty ``0xd79`` — "a miner confirms 76 transactions per second"
+  (Sec. VI-B2), i.e. with 10-transaction blocks a 7.6 blocks/s rate.
+
+:class:`PoWParameters` calibrates the reference hash rate from the first
+operating point and exposes named constructors for both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+# Calibration anchor: difficulty 0x40000 == 60 s expected block time on the
+# paper's reference machine, giving the reference hash rate below.
+_ANCHOR_DIFFICULTY = 0x40000
+_ANCHOR_INTERVAL_SECONDS = 60.0
+REFERENCE_HASHRATE = _ANCHOR_DIFFICULTY / _ANCHOR_INTERVAL_SECONDS
+
+
+@dataclass(frozen=True)
+class PoWParameters:
+    """Difficulty plus reference hash rate; derives expected block times."""
+
+    difficulty: int = _ANCHOR_DIFFICULTY
+    reference_hashrate: float = REFERENCE_HASHRATE
+
+    def __post_init__(self) -> None:
+        if self.difficulty <= 0:
+            raise ValueError("difficulty must be positive")
+        if self.reference_hashrate <= 0:
+            raise ValueError("reference hash rate must be positive")
+
+    @classmethod
+    def one_block_per_minute(cls) -> "PoWParameters":
+        """The Sec. VI-B1 / VI-C / VI-D operating point (0x40000)."""
+        return cls(difficulty=_ANCHOR_DIFFICULTY)
+
+    @classmethod
+    def fast_confirmation(
+        cls, tx_per_second: float = 76.0, block_capacity: int = 10
+    ) -> "PoWParameters":
+        """The Sec. VI-B2 operating point (0xd79): 76 tx/s per miner.
+
+        The difficulty is derived so that one miner's expected block rate
+        times the block capacity equals ``tx_per_second``.
+        """
+        if tx_per_second <= 0:
+            raise ValueError("tx_per_second must be positive")
+        interval = block_capacity / tx_per_second
+        difficulty = max(1, round(REFERENCE_HASHRATE * interval))
+        return cls(difficulty=difficulty)
+
+    def expected_interval(self, hashrate_fraction: float = 1.0) -> float:
+        """Expected seconds between blocks for a given hash-power share."""
+        if hashrate_fraction <= 0:
+            raise ValueError("hash-power fraction must be positive")
+        return self.difficulty / (self.reference_hashrate * hashrate_fraction)
+
+
+class MiningProcess:
+    """Samples block-discovery times for one miner under PoW.
+
+    The process is memoryless: each call draws a fresh exponential
+    inter-block time. A dedicated ``random.Random`` keeps every miner's
+    stream independent and the whole simulation reproducible.
+    """
+
+    def __init__(
+        self,
+        params: PoWParameters,
+        hashrate_fraction: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        self._params = params
+        self._hashrate_fraction = hashrate_fraction
+        self._rng = random.Random(seed)
+
+    @property
+    def params(self) -> PoWParameters:
+        return self._params
+
+    @property
+    def expected_interval(self) -> float:
+        return self._params.expected_interval(self._hashrate_fraction)
+
+    def next_block_time(self) -> float:
+        """Sample the time (seconds from now) until this miner's next block."""
+        return self._rng.expovariate(1.0 / self.expected_interval)
+
+    def retarget(self, hashrate_fraction: float) -> None:
+        """Change this miner's hash-power share (e.g. after a shard merge)."""
+        if hashrate_fraction <= 0:
+            raise ValueError("hash-power fraction must be positive")
+        self._hashrate_fraction = hashrate_fraction

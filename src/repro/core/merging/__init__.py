@@ -1,0 +1,61 @@
+"""Inter-shard merging (Sec. IV-A and Sec. V).
+
+Small shards waste mining power on empty blocks; the paper pays a *shard
+reward* ``G`` to miners of small shards that merge into a shard of at
+least ``L`` transactions (constraint (1)) and models the resulting
+behavior as an evolutionary cooperative game solved with replicator
+dynamics:
+
+* :mod:`repro.core.merging.game` — utilities (Eq. 8, 9, 14), payoff
+  estimators (Eq. 12, 13) and the discretized replicator update (Eq. 11);
+* :mod:`repro.core.merging.algorithm` — Algorithm 3 (one-time merge to a
+  mixed-strategy equilibrium) and Algorithm 1 (iterative merging);
+* :mod:`repro.core.merging.equilibrium` — Nash/ESS predicates used by the
+  analysis and the property-based tests.
+"""
+
+from repro.core.merging.game import (
+    MergingGameConfig,
+    ShardPlayer,
+    merge_utility,
+    stay_utility,
+    realized_utility,
+)
+from repro.core.merging.algorithm import (
+    IterativeMerging,
+    IterativeMergingResult,
+    MergeOutcome,
+    OneTimeMerge,
+)
+from repro.core.merging.equilibrium import (
+    is_pure_nash,
+    expected_payoffs,
+    best_pure_deviation,
+)
+from repro.core.merging.analysis import (
+    exact_expected_utilities,
+    is_mixed_equilibrium,
+    pivotal_probability,
+    replicator_field,
+    symmetric_mixed_equilibrium,
+)
+
+__all__ = [
+    "MergingGameConfig",
+    "ShardPlayer",
+    "merge_utility",
+    "stay_utility",
+    "realized_utility",
+    "OneTimeMerge",
+    "MergeOutcome",
+    "IterativeMerging",
+    "IterativeMergingResult",
+    "is_pure_nash",
+    "expected_payoffs",
+    "best_pure_deviation",
+    "exact_expected_utilities",
+    "is_mixed_equilibrium",
+    "pivotal_probability",
+    "replicator_field",
+    "symmetric_mixed_equilibrium",
+]

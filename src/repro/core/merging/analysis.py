@@ -1,0 +1,207 @@
+"""Exact equilibrium analysis of the merging game (Sec. V).
+
+The paper defers the sufficient and necessary mixed-equilibrium
+conditions to its technical report; this module derives them exactly for
+our utility structure and checks the replicator dynamics against them.
+
+With mixed profile ``x`` (``x_i`` = probability player ``i`` merges) and
+merged size ``S = sum_i B_i * c_i`` (``B_i ~ Bernoulli(x_i)``):
+
+* a merging player ``i`` earns ``G * P(S >= L | B_i = 1) - C_i``
+  (Eq. 8 with the realized constraint indicator);
+* a staying player earns ``G * P(S >= L | B_i = 0)`` (Eq. 9).
+
+The difference is ``G * P(i is pivotal) - C_i`` where *pivotal* means
+``L - c_i <= S_{-i} < L``: player ``i``'s merge flips the constraint.
+An interior mixed equilibrium therefore satisfies the **indifference
+condition**
+
+    G * P(L - c_i <= S_{-i} < L) = C_i        for every i with 0 < x_i < 1,
+
+with the usual complementary conditions at the corners. All
+probabilities here are computed *exactly* by convolving the size
+distribution (sizes are small integers), not by sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.merging.game import MergingGameConfig, ShardPlayer
+from repro.errors import MergingError
+
+
+def merged_size_distribution(
+    players: list[ShardPlayer],
+    probabilities: list[float] | np.ndarray,
+    exclude: int | None = None,
+) -> np.ndarray:
+    """Exact pmf of the merged size ``S`` (optionally excluding a player).
+
+    Returns an array ``pmf`` with ``pmf[s] = P(S = s)``; its length is
+    ``1 + sum of included sizes``. Computed by convolving each player's
+    two-point distribution ``{0: 1 - x_i, c_i: x_i}``.
+    """
+    if len(players) != len(probabilities):
+        raise MergingError("probabilities must align with players")
+    pmf = np.array([1.0])
+    for index, (player, x) in enumerate(zip(players, probabilities)):
+        if index == exclude:
+            continue
+        if not 0.0 <= x <= 1.0:
+            raise MergingError(f"probability out of range: {x}")
+        step = np.zeros(player.size + 1)
+        step[0] = 1.0 - x
+        step[player.size] += x
+        pmf = np.convolve(pmf, step)
+    return pmf
+
+
+def success_probability(
+    players: list[ShardPlayer],
+    probabilities: list[float] | np.ndarray,
+    lower_bound: int,
+    exclude: int | None = None,
+    shift: int = 0,
+) -> float:
+    """``P(S_{-exclude} + shift >= lower_bound)`` computed exactly."""
+    pmf = merged_size_distribution(players, probabilities, exclude=exclude)
+    threshold = max(lower_bound - shift, 0)
+    if threshold >= len(pmf):
+        return 0.0
+    return float(pmf[threshold:].sum())
+
+
+def pivotal_probability(
+    players: list[ShardPlayer],
+    probabilities: list[float] | np.ndarray,
+    config: MergingGameConfig,
+    index: int,
+) -> float:
+    """``P(L - c_i <= S_{-i} < L)``: player ``i``'s merge is decisive."""
+    with_i = success_probability(
+        players, probabilities, config.lower_bound,
+        exclude=index, shift=players[index].size,
+    )
+    without_i = success_probability(
+        players, probabilities, config.lower_bound, exclude=index, shift=0
+    )
+    return with_i - without_i
+
+
+def exact_expected_utilities(
+    players: list[ShardPlayer],
+    probabilities: list[float] | np.ndarray,
+    config: MergingGameConfig,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ``(U_merge, U_stay)`` vectors under a mixed profile."""
+    merge_u = np.empty(len(players))
+    stay_u = np.empty(len(players))
+    for i, player in enumerate(players):
+        p_with = success_probability(
+            players, probabilities, config.lower_bound,
+            exclude=i, shift=player.size,
+        )
+        p_without = success_probability(
+            players, probabilities, config.lower_bound, exclude=i, shift=0
+        )
+        merge_u[i] = config.shard_reward * p_with - player.cost
+        stay_u[i] = config.shard_reward * p_without
+    return merge_u, stay_u
+
+
+def replicator_field(
+    players: list[ShardPlayer],
+    probabilities: list[float] | np.ndarray,
+    config: MergingGameConfig,
+) -> np.ndarray:
+    """The exact replicator vector field (Eq. 10) at a mixed profile.
+
+    ``xdot_i = x_i * (U_merge_i - U_mean_i)`` with
+    ``U_mean_i = x_i * U_merge_i + (1 - x_i) * U_stay_i``; simplifies to
+    ``x_i * (1 - x_i) * (U_merge_i - U_stay_i)``.
+    """
+    x = np.asarray(probabilities, dtype=np.float64)
+    merge_u, stay_u = exact_expected_utilities(players, x, config)
+    return x * (1.0 - x) * (merge_u - stay_u)
+
+
+def is_mixed_equilibrium(
+    players: list[ShardPlayer],
+    probabilities: list[float] | np.ndarray,
+    config: MergingGameConfig,
+    tolerance: float = 1e-6,
+    boundary: float = 1e-9,
+) -> bool:
+    """Check the Sec. V equilibrium conditions at a mixed profile.
+
+    * interior ``x_i``: indifference ``U_merge_i == U_stay_i``;
+    * ``x_i == 0``: merging must not be strictly better;
+    * ``x_i == 1``: staying must not be strictly better.
+    """
+    x = np.asarray(probabilities, dtype=np.float64)
+    merge_u, stay_u = exact_expected_utilities(players, x, config)
+    advantage = merge_u - stay_u
+    for xi, adv in zip(x, advantage):
+        if xi <= boundary:
+            if adv > tolerance:
+                return False
+        elif xi >= 1.0 - boundary:
+            if adv < -tolerance:
+                return False
+        else:
+            if abs(adv) > tolerance:
+                return False
+    return True
+
+
+def symmetric_mixed_equilibrium(
+    player_count: int,
+    size: int,
+    config: MergingGameConfig,
+    cost: float,
+    iterations: int = 200,
+) -> float | None:
+    """The interior symmetric equilibrium ``x*`` by bisection, if any.
+
+    In the symmetric game (all sizes ``c``, all costs ``C``), the merge
+    advantage ``G * P(pivotal) - C`` is continuous in the common ``x``;
+    an interior equilibrium is a root. Returns None when no interior
+    root exists in (0, 1) — the game then only has corner equilibria.
+    """
+    if player_count < 2:
+        return None
+    players = [ShardPlayer(i, size, cost) for i in range(player_count)]
+
+    def advantage(x: float) -> float:
+        probs = [x] * player_count
+        return (
+            config.shard_reward
+            * pivotal_probability(players, probs, config, index=0)
+            - cost
+        )
+
+    lo, hi = 1e-9, 1.0 - 1e-9
+    f_lo, f_hi = advantage(lo), advantage(hi)
+    if f_lo * f_hi > 0:
+        # Same sign at both ends: scan for an interior sign change (the
+        # pivotal probability is unimodal in x, so one scan suffices).
+        xs = np.linspace(lo, hi, 101)
+        values = [advantage(float(x)) for x in xs]
+        bracket = None
+        for a, b, fa, fb in zip(xs, xs[1:], values, values[1:]):
+            if fa * fb <= 0:
+                bracket = (float(a), float(b))
+                break
+        if bracket is None:
+            return None
+        lo, hi = bracket
+        f_lo = advantage(lo)
+    for __ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        f_mid = advantage(mid)
+        if f_lo * f_mid <= 0:
+            hi = mid
+        else:
+            lo, f_lo = mid, f_mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,158 @@
+"""The merging game's primitives (Sec. V-A).
+
+Player ``i`` stands for the miners of small shard ``i`` (the paper's
+simplification). Each player chooses MERGE or STAY; the merged shard's
+size is the sum of the merging players' transaction counts (Eq. 7); the
+shard reward ``G`` is paid to *all small-shard players* when the merged
+size reaches the lower bound ``L`` (constraint (1)), merging players
+additionally paying their cost ``C_i`` (Eq. 8, 9).
+
+The realized per-subslot utility table is Eq. (14):
+
+==================  ======================  =================
+strategy            constraint (1) holds    constraint fails
+==================  ======================  =================
+MERGE               ``G - C_i``             ``-C_i``
+STAY                ``G``                   ``0``
+==================  ======================  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MergingError
+
+
+@dataclass(frozen=True)
+class ShardPlayer:
+    """One small shard acting as a single player in the merging game."""
+
+    shard_id: int
+    size: int  # c_i: the shard's transaction count
+    cost: float  # C_i: profit lost by merging (more competitors)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise MergingError(f"shard {self.shard_id}: negative size {self.size}")
+        if self.cost < 0:
+            raise MergingError(f"shard {self.shard_id}: negative cost {self.cost}")
+
+
+@dataclass(frozen=True)
+class MergingGameConfig:
+    """Parameters of one merging game instance.
+
+    Parameters
+    ----------
+    shard_reward:
+        ``G``, the incentive paid when constraint (1) is satisfied. Must
+        exceed every player's cost or merging can never be rational.
+    lower_bound:
+        ``L``, the minimum size of a viable merged shard (constraint (1)).
+    step_size:
+        ``eta``, the replicator-dynamics learning rate (Eq. 10/11).
+    subslots:
+        ``M``, Monte-Carlo samples per slot used to estimate Eq. (12)/(13).
+    max_slots:
+        Convergence guard for Algorithm 3's outer loop.
+    tolerance:
+        Probabilities are converged when no player's update moves more
+        than this.
+    probability_floor:
+        Mixed strategies are clamped to ``[floor, 1 - floor]`` so payoff
+        estimation never starves of samples for either pure strategy
+        (standard exploration clamp for discretized replicator dynamics).
+    """
+
+    shard_reward: float = 10.0
+    lower_bound: int = 10
+    step_size: float = 0.1
+    subslots: int = 16
+    max_slots: int = 400
+    tolerance: float = 1e-3
+    probability_floor: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.shard_reward <= 0:
+            raise MergingError("shard reward G must be positive")
+        if self.lower_bound <= 0:
+            raise MergingError("lower bound L must be positive")
+        if not 0 < self.step_size <= 1:
+            raise MergingError("step size eta must be in (0, 1]")
+        if self.subslots <= 0:
+            raise MergingError("subslot count M must be positive")
+        if self.max_slots <= 0:
+            raise MergingError("max_slots must be positive")
+        if not 0 < self.probability_floor < 0.5:
+            raise MergingError("probability floor must be in (0, 0.5)")
+
+
+def constraint_satisfied(merged_size: int, lower_bound: int) -> bool:
+    """Constraint (1): ``T >= L`` for the newly formed shard."""
+    return merged_size >= lower_bound
+
+
+def merge_utility(satisfied: bool, shard_reward: float, cost: float) -> float:
+    """Eq. (8) realized: payoff of a player who merged this subslot."""
+    return (shard_reward if satisfied else 0.0) - cost
+
+
+def stay_utility(satisfied: bool, shard_reward: float) -> float:
+    """Eq. (9) realized: payoff of a player who stayed this subslot."""
+    return shard_reward if satisfied else 0.0
+
+
+def realized_utility(
+    merged: bool, satisfied: bool, shard_reward: float, cost: float
+) -> float:
+    """Eq. (14): the full realized-utility table."""
+    if merged:
+        return merge_utility(satisfied, shard_reward, cost)
+    return stay_utility(satisfied, shard_reward)
+
+
+@dataclass
+class PayoffSamples:
+    """Per-slot Monte-Carlo samples backing Eq. (12) and Eq. (13)."""
+
+    merge_payoffs: list[float] = field(default_factory=list)
+    all_payoffs: list[float] = field(default_factory=list)
+
+    def record(self, merged: bool, payoff: float) -> None:
+        self.all_payoffs.append(payoff)
+        if merged:
+            self.merge_payoffs.append(payoff)
+
+    def average_merge_payoff(self, fallback: float) -> float:
+        """Eq. (12): average payoff over the subslots where the player merged.
+
+        When the player never merged this slot (her probability is near
+        the floor), the estimator has no samples; ``fallback`` (the
+        previous estimate) is returned, keeping the update well-defined.
+        """
+        if not self.merge_payoffs:
+            return fallback
+        return sum(self.merge_payoffs) / len(self.merge_payoffs)
+
+    def average_payoff(self) -> float:
+        """Eq. (13): average payoff over every subslot of the slot."""
+        if not self.all_payoffs:
+            return 0.0
+        return sum(self.all_payoffs) / len(self.all_payoffs)
+
+
+def replicator_update(
+    probability: float,
+    merge_payoff: float,
+    average_payoff: float,
+    step_size: float,
+    floor: float,
+) -> float:
+    """Eq. (11): one discretized replicator-dynamics step, clamped.
+
+    ``x <- x + eta * [U(merge, x_-i) - U(x)] * x``, then clamped to
+    ``[floor, 1 - floor]`` so both strategies stay explorable.
+    """
+    updated = probability + step_size * (merge_payoff - average_payoff) * probability
+    return min(max(updated, floor), 1.0 - floor)

@@ -1,0 +1,34 @@
+"""Intra-shard transaction selection (Sec. IV-B).
+
+Miners in a large shard play a congestion game over the pending
+transactions: the expected payoff of picking transaction ``j`` shrinks
+with the number of competitors on it (Eq. 2). Best-reply dynamics
+(Algorithm 2) reach a pure-strategy Nash equilibrium because the game
+admits a Rosenthal potential; at equilibrium miners hold (mostly)
+distinct transaction sets, which is the paper's throughput proxy
+(Fig. 5b).
+"""
+
+from repro.core.selection.congestion_game import (
+    SelectionGameConfig,
+    payoff,
+    rosenthal_potential,
+    profile_utilities,
+    is_selection_nash,
+)
+from repro.core.selection.best_reply import (
+    BestReplyDynamics,
+    SelectionOutcome,
+    greedy_profile,
+)
+
+__all__ = [
+    "SelectionGameConfig",
+    "payoff",
+    "rosenthal_potential",
+    "profile_utilities",
+    "is_selection_nash",
+    "BestReplyDynamics",
+    "SelectionOutcome",
+    "greedy_profile",
+]

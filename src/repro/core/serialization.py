@@ -1,0 +1,132 @@
+"""Wire format for unification packets.
+
+The verifiable leader *broadcasts* the unification packet (Sec. IV-C), so
+it must serialize deterministically: every honest receiver has to
+reconstruct a bit-identical object whose digest matches what others saw.
+This module provides the canonical JSON encoding (sorted keys, no
+floats-as-locale surprises) and its inverse.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.merging.game import MergingGameConfig, ShardPlayer
+from repro.core.selection.congestion_game import SelectionGameConfig
+from repro.core.unification import ShardSelectionInput, UnificationPacket
+from repro.errors import UnificationError
+
+
+def packet_to_dict(packet: UnificationPacket) -> dict:
+    """A plain-data representation of a packet (JSON-compatible)."""
+    return {
+        "epoch_seed": packet.epoch_seed,
+        "leader_public": packet.leader_public,
+        "randomness": packet.randomness,
+        "merge_players": [
+            {"shard_id": p.shard_id, "size": p.size, "cost": p.cost}
+            for p in packet.merge_players
+        ],
+        "merge_config": (
+            None
+            if packet.merge_config is None
+            else {
+                "shard_reward": packet.merge_config.shard_reward,
+                "lower_bound": packet.merge_config.lower_bound,
+                "step_size": packet.merge_config.step_size,
+                "subslots": packet.merge_config.subslots,
+                "max_slots": packet.merge_config.max_slots,
+                "tolerance": packet.merge_config.tolerance,
+                "probability_floor": packet.merge_config.probability_floor,
+            }
+        ),
+        "merge_initial": (
+            None if packet.merge_initial is None else list(packet.merge_initial)
+        ),
+        "selection_inputs": [
+            {
+                "shard_id": s.shard_id,
+                "tx_ids": list(s.tx_ids),
+                "fees": list(s.fees),
+                "miners": list(s.miners),
+                "initial_profile": (
+                    None
+                    if s.initial_profile is None
+                    else [list(chosen) for chosen in s.initial_profile]
+                ),
+            }
+            for s in packet.selection_inputs
+        ],
+        "selection_config": (
+            None
+            if packet.selection_config is None
+            else {
+                "capacity": packet.selection_config.capacity,
+                "max_rounds": packet.selection_config.max_rounds,
+                "tie_epsilon": packet.selection_config.tie_epsilon,
+            }
+        ),
+    }
+
+
+def packet_from_dict(data: dict) -> UnificationPacket:
+    """Rebuild a packet from its plain-data representation."""
+    try:
+        merge_config = data["merge_config"]
+        selection_config = data["selection_config"]
+        return UnificationPacket(
+            epoch_seed=data["epoch_seed"],
+            leader_public=data["leader_public"],
+            randomness=data["randomness"],
+            merge_players=tuple(
+                ShardPlayer(
+                    shard_id=p["shard_id"], size=p["size"], cost=p["cost"]
+                )
+                for p in data["merge_players"]
+            ),
+            merge_config=(
+                None if merge_config is None else MergingGameConfig(**merge_config)
+            ),
+            merge_initial=(
+                None
+                if data["merge_initial"] is None
+                else tuple(data["merge_initial"])
+            ),
+            selection_inputs=tuple(
+                ShardSelectionInput(
+                    shard_id=s["shard_id"],
+                    tx_ids=tuple(s["tx_ids"]),
+                    fees=tuple(s["fees"]),
+                    miners=tuple(s["miners"]),
+                    initial_profile=(
+                        None
+                        if s["initial_profile"] is None
+                        else tuple(tuple(c) for c in s["initial_profile"])
+                    ),
+                )
+                for s in data["selection_inputs"]
+            ),
+            selection_config=(
+                None
+                if selection_config is None
+                else SelectionGameConfig(**selection_config)
+            ),
+        )
+    except (KeyError, TypeError) as exc:
+        raise UnificationError(f"malformed packet data: {exc}") from exc
+
+
+def packet_to_json(packet: UnificationPacket) -> str:
+    """Canonical JSON encoding (sorted keys, compact separators)."""
+    return json.dumps(packet_to_dict(packet), sort_keys=True, separators=(",", ":"))
+
+
+def packet_from_json(text: str) -> UnificationPacket:
+    """Decode a packet from its canonical JSON encoding."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise UnificationError(f"packet is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise UnificationError("packet JSON must encode an object")
+    return packet_from_dict(data)

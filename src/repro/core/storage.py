@@ -1,0 +1,124 @@
+"""Storage and query-cost analysis (Related Work & Sec. III-C / VIII).
+
+Two quantitative claims the paper makes outside its figures:
+
+* **Storage** (Sec. VII): sharding schemes that do not divide state
+  (Zilliqa, Corda, Elastico) make every validating peer store the entire
+  system, whereas the contract-centric design lets a contract-shard miner
+  store only her shard's slice — only MaxShard miners hold everything, so
+  "the storage cost is significantly reduced".
+* **Query cost** (Sec. III-C): classifying a sender by scanning the whole
+  transaction history costs O(history) per query; the call-graph index the
+  paper sketches (and we implement in :mod:`repro.chain.callgraph`)
+  answers the same question from the sender's graph neighbourhood.
+
+This module turns both into measurable models used by the storage
+ablation benchmark and the regression tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.shard_formation import MAXSHARD_ID, TransactionPartition
+from repro.errors import ShardingError
+
+#: Relative unit cost of storing one transaction record (state entry).
+TX_RECORD_UNITS = 1
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Per-scheme storage footprints for one workload + miner layout.
+
+    All values are in transaction-record units; ``per_miner_*`` are
+    averages over the miner population.
+    """
+
+    total_transactions: int
+    miners_total: int
+    maxshard_miners: int
+    per_miner_ethereum: float
+    per_miner_full_replication: float
+    per_miner_contract_sharding: float
+    system_contract_sharding: float
+
+    @property
+    def reduction_vs_full_replication(self) -> float:
+        """Fraction of per-miner storage the contract design saves."""
+        if self.per_miner_full_replication == 0:
+            return 0.0
+        return 1.0 - (
+            self.per_miner_contract_sharding / self.per_miner_full_replication
+        )
+
+
+def storage_profile(
+    partition: TransactionPartition,
+    miners_per_shard: dict[int, int],
+) -> StorageReport:
+    """Compute per-miner storage under the three designs.
+
+    * Ethereum / full-replication sharding: every miner stores every
+      transaction record;
+    * contract-centric sharding: a shard-``s`` miner stores shard ``s``'s
+      records; MaxShard miners store everything (they validate the
+      transactions whose senders span shards).
+    """
+    sizes = partition.shard_sizes
+    total = partition.total_transactions
+    unknown = set(miners_per_shard) - set(sizes)
+    if unknown:
+        raise ShardingError(f"miner layout references unknown shards: {unknown}")
+    miners_total = sum(miners_per_shard.values())
+    if miners_total <= 0:
+        raise ShardingError("the miner layout must contain at least one miner")
+
+    maxshard_miners = miners_per_shard.get(MAXSHARD_ID, 0)
+    contract_storage = 0.0
+    for shard, miner_count in miners_per_shard.items():
+        slice_size = total if shard == MAXSHARD_ID else sizes.get(shard, 0)
+        contract_storage += miner_count * slice_size * TX_RECORD_UNITS
+
+    full = float(total * TX_RECORD_UNITS)
+    return StorageReport(
+        total_transactions=total,
+        miners_total=miners_total,
+        maxshard_miners=maxshard_miners,
+        per_miner_ethereum=full,
+        per_miner_full_replication=full,
+        per_miner_contract_sharding=contract_storage / miners_total,
+        system_contract_sharding=contract_storage,
+    )
+
+
+@dataclass(frozen=True)
+class QueryCostReport:
+    """Sender-classification cost: history scan vs. call-graph lookup."""
+
+    history_scan_operations: int
+    callgraph_operations: int
+
+    @property
+    def speedup(self) -> float:
+        if self.callgraph_operations == 0:
+            return float(self.history_scan_operations or 1)
+        return self.history_scan_operations / self.callgraph_operations
+
+
+def classification_query_cost(
+    history_length: int, sender_degree: int
+) -> QueryCostReport:
+    """Cost of one "is this sender single-contract?" query.
+
+    The trivial route (Sec. III-C: "checking the local states of the
+    system") scans the full transaction history; the call-graph route
+    inspects only the sender's adjacency (her distinct contracts and
+    direct peers).
+    """
+    if history_length < 0 or sender_degree < 0:
+        raise ShardingError("costs cannot be negative")
+    return QueryCostReport(
+        history_scan_operations=history_length,
+        callgraph_operations=max(sender_degree, 1),
+    )

@@ -1,0 +1,50 @@
+"""Hashing helpers shared by the whole substrate.
+
+All hashing in the repro package funnels through this module so the hash
+function used by blocks, VRFs and the beacon can be swapped in one place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+_HEX_DIGITS = 64  # sha256 produces 32 bytes = 64 hex characters.
+
+
+def sha256_hex(data: bytes | str) -> str:
+    """Return the sha256 digest of ``data`` as a lowercase hex string."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_items(items: Iterable[object], *, domain: str = "") -> str:
+    """Hash a sequence of printable items under an optional domain tag.
+
+    The domain tag separates hash usages (block ids, VRF inputs, beacon
+    rounds...) so that identical payloads in different protocol roles can
+    never collide.
+    """
+    parts = [domain] + [repr(item) for item in items]
+    return sha256_hex("\x1f".join(parts))
+
+
+def uniform_from_hash(digest_hex: str) -> float:
+    """Map a hex digest to a float uniformly distributed in ``[0, 1)``.
+
+    The mapping uses the full 256-bit digest so that consecutive digests
+    are statistically independent draws.
+    """
+    if len(digest_hex) != _HEX_DIGITS:
+        raise ValueError(
+            f"expected a {_HEX_DIGITS}-hex-digit digest, got {len(digest_hex)} digits"
+        )
+    return int(digest_hex, 16) / float(1 << 256)
+
+
+def int_from_hash(digest_hex: str, modulus: int) -> int:
+    """Map a hex digest to an integer in ``[0, modulus)``."""
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    return int(digest_hex, 16) % modulus

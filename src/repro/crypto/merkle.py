@@ -1,0 +1,92 @@
+"""Merkle trees for block transaction commitments.
+
+Blocks commit to their transaction list with a Merkle root so that light
+verification (did this block include transaction t?) works without the
+full body — the standard account-chain construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256_hex
+
+_EMPTY_ROOT = sha256_hex("merkle-empty")
+
+
+def _leaf_hash(item: str) -> str:
+    return sha256_hex(f"merkle-leaf\x1f{item}")
+
+
+def _node_hash(left: str, right: str) -> str:
+    return sha256_hex(f"merkle-node\x1f{left}\x1f{right}")
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An inclusion proof: the leaf index plus sibling hashes bottom-up."""
+
+    index: int
+    leaf: str
+    siblings: tuple[tuple[str, str], ...]  # (side, hash), side in {"L", "R"}
+
+    def verify(self, root: str) -> bool:
+        """Check the proof against a claimed root."""
+        current = _leaf_hash(self.leaf)
+        for side, sibling in self.siblings:
+            if side == "L":
+                current = _node_hash(sibling, current)
+            elif side == "R":
+                current = _node_hash(current, sibling)
+            else:
+                return False
+        return current == root
+
+
+class MerkleTree:
+    """A static Merkle tree over a list of string items.
+
+    Odd levels duplicate the last node (Bitcoin-style padding) so every
+    internal level halves in size.
+    """
+
+    def __init__(self, items: list[str]) -> None:
+        self._items = list(items)
+        self._levels: list[list[str]] = []
+        if self._items:
+            level = [_leaf_hash(item) for item in self._items]
+            self._levels.append(level)
+            while len(level) > 1:
+                if len(level) % 2 == 1:
+                    level = level + [level[-1]]
+                level = [
+                    _node_hash(level[i], level[i + 1]) for i in range(0, len(level), 2)
+                ]
+                self._levels.append(level)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def root(self) -> str:
+        """The Merkle root; a fixed sentinel hash for the empty tree."""
+        if not self._levels:
+            return _EMPTY_ROOT
+        return self._levels[-1][0]
+
+    def proof(self, index: int) -> MerkleProof:
+        """Build an inclusion proof for the item at ``index``."""
+        if not 0 <= index < len(self._items):
+            raise IndexError(f"leaf index {index} out of range")
+        siblings: list[tuple[str, str]] = []
+        position = index
+        for level in self._levels[:-1]:
+            padded = level if len(level) % 2 == 0 else level + [level[-1]]
+            if position % 2 == 0:
+                siblings.append(("R", padded[position + 1]))
+            else:
+                siblings.append(("L", padded[position - 1]))
+            position //= 2
+        return MerkleProof(
+            index=index, leaf=self._items[index], siblings=tuple(siblings)
+        )

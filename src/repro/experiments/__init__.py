@@ -1,0 +1,76 @@
+"""Experiment runners: one per table/figure of the evaluation section.
+
+Every module exposes ``run(quick=False, seed=0) -> ExperimentResult``.
+``quick`` trims repetition counts and sweep densities so the full suite
+stays test-friendly; the benchmarks run the full configuration and print
+the same rows/series the paper reports. The registry maps experiment ids
+(table/figure numbers) to runners; ``run_experiment("fig3a")`` is the
+single entry point the benchmarks, tests and examples share.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+
+from repro.experiments import (
+    fig1d,
+    fig3a,
+    fig3b,
+    fig3c,
+    fig3d,
+    fig3e,
+    fig3f,
+    fig3g,
+    fig3h,
+    fig4a,
+    fig4b,
+    fig4c,
+    fig5a,
+    fig5b,
+    security_numbers,
+    table1,
+)
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "fig1d": fig1d.run,
+    "fig3a": fig3a.run,
+    "fig3b": fig3b.run,
+    "fig3c": fig3c.run,
+    "fig3d": fig3d.run,
+    "fig3e": fig3e.run,
+    "fig3f": fig3f.run,
+    "fig3g": fig3g.run,
+    "fig3h": fig3h.run,
+    "fig4a": fig4a.run,
+    "fig4b": fig4b.run,
+    "fig4c": fig4c.run,
+    "fig5a": fig5a.run,
+    "fig5b": fig5b.run,
+    "security": security_numbers.run,
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, in paper order."""
+    return list(_REGISTRY)
+
+
+def run_experiment(
+    experiment_id: str, quick: bool = False, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig3a"``, ``"table1"``)."""
+    try:
+        runner = _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(_REGISTRY)}"
+        ) from None
+    return runner(quick=quick, seed=seed)
+
+
+__all__ = ["ExperimentResult", "experiment_ids", "run_experiment"]

@@ -1,0 +1,86 @@
+"""Shared experiment plumbing: results, tables, repetition helpers."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: labelled rows plus paper reference points.
+
+    ``rows`` is a list of dicts sharing the same keys (one dict per
+    x-axis point); ``paper_claims`` records the reference values from the
+    paper so EXPERIMENTS.md and the benchmark output can show
+    paper-vs-measured side by side.
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    paper_claims: dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def column(self, key: str) -> list:
+        """Extract one column across all rows."""
+        try:
+            return [row[key] for row in self.rows]
+        except KeyError:
+            raise ExperimentError(
+                f"{self.experiment_id}: no column {key!r}"
+            ) from None
+
+    def to_table(self) -> str:
+        """Render the rows as an aligned text table."""
+        if not self.rows:
+            return f"[{self.experiment_id}] (no rows)"
+        keys = list(self.rows[0])
+        cells = [[_fmt(row.get(k)) for k in keys] for row in self.rows]
+        widths = [
+            max(len(k), *(len(row[i]) for row in cells))
+            for i, k in enumerate(keys)
+        ]
+        header = "  ".join(k.ljust(w) for k, w in zip(keys, widths))
+        divider = "  ".join("-" * w for w in widths)
+        body = "\n".join(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in cells
+        )
+        return "\n".join([f"[{self.experiment_id}] {self.title}", header, divider, body])
+
+    def summary_lines(self) -> list[str]:
+        """Paper-vs-measured lines for the benchmark output."""
+        lines = [f"[{self.experiment_id}] {self.title}"]
+        for key, claim in self.paper_claims.items():
+            lines.append(f"  paper {key}: {claim}")
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return lines
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0.0 and abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def averaged(
+    measure: Callable[[int], float], repetitions: int, base_seed: int
+) -> float:
+    """Average a seeded measurement over ``repetitions`` runs.
+
+    The paper repeats injections ("We repeat this injecting process for
+    20 times ... to make the results more valid"); this helper is that
+    loop with deterministic per-repetition seeds.
+    """
+    if repetitions <= 0:
+        raise ExperimentError("repetitions must be positive")
+    return statistics.mean(
+        measure(base_seed * 10_007 + rep) for rep in range(repetitions)
+    )

@@ -1,0 +1,36 @@
+"""Fig. 3(c): empty blocks before vs. after inter-shard merging."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import merging_sweep
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    points = merging_sweep(quick, seed)
+    rows = [
+        {
+            "small_shards": p.small_shards,
+            "empty_before_merging": p.empty_before_per_shard,
+            "empty_after_merging": p.empty_after_per_shard,
+        }
+        for p in points
+    ]
+    before = sum(p.empty_before_per_shard for p in points)
+    after = sum(p.empty_after_per_shard for p in points)
+    reduction = 0.0 if before == 0 else 1.0 - after / before
+    return ExperimentResult(
+        experiment_id="fig3c",
+        title="Empty blocks before/after inter-shard merging",
+        rows=rows,
+        paper_claims={
+            "reduction": "90% ((152 - 15) / 152)",
+            "measured_reduction": f"{reduction:.1%}",
+        },
+        notes=(
+            "Per-shard empties normalize by the original small-shard count; "
+            "absolute magnitudes track block slots, not wall seconds "
+            "(the paper's 152-per-shard figure is unreachable at its stated "
+            "one-block-per-minute rate inside a 212 s window)."
+        ),
+    )

@@ -1,0 +1,37 @@
+"""Fig. 3(d): throughput improvement before vs. after merging."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import merging_sweep
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    points = merging_sweep(quick, seed)
+    rows = [
+        {
+            "small_shards": p.small_shards,
+            "improvement_before_merging": p.improvement_before,
+            "improvement_after_merging": p.improvement_after,
+        }
+        for p in points
+    ]
+    before = sum(p.improvement_before for p in points) / len(points)
+    after = sum(p.improvement_after for p in points) / len(points)
+    loss = 0.0 if before == 0 else 1.0 - after / before
+    return ExperimentResult(
+        experiment_id="fig3d",
+        title="Throughput improvement before/after inter-shard merging",
+        rows=rows,
+        paper_claims={
+            "average_before": 5.20,
+            "average_after": 4.48,
+            "loss": "14% ((5.20 - 4.48) / 5.20)",
+            "measured_loss": f"{loss:.1%}",
+        },
+        notes=(
+            "Loss stems from serialized confirmation inside the merged shard "
+            "plus the merging protocol's start-up latency occasionally landing "
+            "the merged shard on the critical path."
+        ),
+    )

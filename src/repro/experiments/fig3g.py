@@ -1,0 +1,37 @@
+"""Fig. 3(g): number of new shards, our merging vs. randomized merging."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import merging_sweep
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    points = merging_sweep(quick, seed)
+    rows = [
+        {
+            "small_shards": p.small_shards,
+            "new_shards_ours": p.new_shards_ours,
+            "new_shards_random": p.new_shards_random,
+        }
+        for p in points
+    ]
+    ours = sum(p.new_shards_ours for p in points) / len(points)
+    rand = sum(p.new_shards_random for p in points) / len(points)
+    gap = 0.0 if rand == 0 else ours / rand - 1.0
+    return ExperimentResult(
+        experiment_id="fig3g",
+        title="New shards formed: game-driven vs. randomized merging",
+        rows=rows,
+        paper_claims={
+            "ours_average": 1.78,
+            "random_average": 1.12,
+            "gap": "59% more new shards than the randomized algorithm",
+            "measured_gap": f"{gap:+.1%}",
+        },
+        notes=(
+            "The game sizes each new shard just above the lower bound L, so "
+            "more shards fit; the coin-flip baseline lumps about half the "
+            "remaining population into every shard it forms."
+        ),
+    )

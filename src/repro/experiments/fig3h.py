@@ -1,0 +1,71 @@
+"""Fig. 3(h): throughput improvement of intra-shard transaction selection.
+
+200 transactions in a single shard with 1-9 miners. With fee-greedy
+selection every miner duplicates the same set and confirmation is
+serialized; the congestion game assigns (mostly) distinct sets, whose
+conflict-free lanes confirm in parallel. The paper reports an average
+improvement of 300%.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ethereum import run_ethereum
+from repro.experiments.base import ExperimentResult, averaged
+from repro.experiments.common import epoch_selection_assignments
+from repro.sim.config import SimulationConfig, TimingModel
+from repro.sim.simulator import ShardGroupSpec, ShardedSimulation
+from repro.workloads.generators import single_shard_workload
+
+TIMING = TimingModel.low_variance(interval=60.0, shape=48.0)
+
+
+def measure_improvement(miners: int, run_seed: int, total_txs: int = 200) -> float:
+    """Improvement of game-assigned selection over serialized greedy."""
+    txs = single_shard_workload(total_txs, seed=run_seed)
+    miner_ids = [f"sel-m{i}" for i in range(miners)]
+    assignments = epoch_selection_assignments(
+        txs, miner_ids, capacity=10, seed=run_seed
+    )
+    spec = ShardGroupSpec(
+        shard_id=1,
+        miners=tuple(miner_ids),
+        transactions=tuple(txs),
+        mode="assigned",
+        assignments=assignments,
+    )
+    assigned = ShardedSimulation(
+        [spec], config=SimulationConfig(timing=TIMING, seed=run_seed + 1)
+    ).run()
+    # The serialized baseline: the same miners all chase the top fees, so
+    # the shard is one retargeted lane (identical to Ethereum's behavior).
+    greedy = run_ethereum(
+        txs, miner_count=miners, config=SimulationConfig(timing=TIMING, seed=run_seed + 2)
+    )
+    return greedy.makespan / assigned.makespan
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    repetitions = 2 if quick else 8
+    rows = []
+    for miners in range(1, 10):
+        improvement = averaged(
+            lambda s, m=miners: measure_improvement(m, s),
+            repetitions,
+            base_seed=seed + miners,
+        )
+        rows.append({"miners": miners, "throughput_improvement": improvement})
+    average = sum(row["throughput_improvement"] for row in rows) / len(rows)
+    return ExperimentResult(
+        experiment_id="fig3h",
+        title="Throughput improvement of intra-shard transaction selection",
+        rows=rows,
+        paper_claims={
+            "average": "300% with up to 9 miners",
+            "measured_average": f"{average:.2f}x",
+        },
+        notes=(
+            "Disjoint assigned sets form conflict-free lanes that confirm in "
+            "parallel; improvement tracks the number of distinct sets, the "
+            "proxy the paper itself uses in Sec. VI-E2."
+        ),
+    )

@@ -1,0 +1,78 @@
+"""Fig. 4(b): per-shard communication vs. number of 3-input transactions.
+
+Nine shards; 3-input transactions injected in increasing volume, each
+repetition re-randomizing placement (the paper repeats 20x). Our design
+validates every multi-input transaction inside the MaxShard — zero
+cross-shard messages — while ChainSpace pays S-BAC consensus per foreign
+input shard, linear in the injected volume.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.chainspace import ChainSpaceModel
+from repro.core.shard_formation import MAXSHARD_ID, partition_transactions
+from repro.experiments.base import ExperimentResult, averaged
+from repro.workloads.generators import three_input_workload
+
+SHARDS = 9
+
+
+def our_communication_times(tx_count: int, seed: int) -> float:
+    """Cross-shard messages our design needs to validate the workload.
+
+    Every 3-input transaction has a direct-sender, so it routes to the
+    MaxShard whose miners hold full state: zero cross-shard validation
+    messages by construction. The partition is computed (not assumed) so
+    the claim is checked, not asserted.
+    """
+    if tx_count == 0:
+        return 0.0
+    txs = three_input_workload(tx_count, seed=seed)
+    partition = partition_transactions(txs)
+    outside = partition.total_transactions - len(
+        partition.by_shard.get(MAXSHARD_ID, [])
+    )
+    if outside:
+        raise AssertionError(
+            f"{outside} multi-input transactions escaped the MaxShard"
+        )
+    return 0.0
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    counts = [0, 1_000, 2_000] if quick else [0, 4_000, 8_000, 12_000, 16_000, 20_000, 24_000]
+    repetitions = 2 if quick else 20
+    rows = []
+    for count in counts:
+
+        def measure_chainspace(run_seed: int, n: int = count) -> float:
+            if n == 0:
+                return 0.0
+            txs = three_input_workload(n, seed=run_seed)
+            model = ChainSpaceModel(shard_count=SHARDS, seed=run_seed)
+            return model.count_communication(txs).per_shard_mean
+
+        rows.append(
+            {
+                "three_input_txs": count,
+                "comm_ours": our_communication_times(count, seed),
+                "comm_chainspace": averaged(
+                    measure_chainspace, repetitions, base_seed=seed + count
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig4b",
+        title="Per-shard communication times vs. 3-input transaction volume",
+        rows=rows,
+        paper_claims={
+            "ours": "stays at 0",
+            "chainspace": "increases linearly (~3500 per shard at 24000 txs)",
+        },
+        notes=(
+            "Counting convention: one S-BAC round trip per distinct foreign "
+            "input shard, attributed to the coordinating shard, averaged over "
+            "all nine shards. The paper leaves its exact convention implicit; "
+            "any convention preserves linear-vs-zero."
+        ),
+    )

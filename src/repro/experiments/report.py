@@ -1,0 +1,68 @@
+"""Markdown report generation for reproduction runs.
+
+``python -m repro report`` (or :func:`generate_report`) runs a set of
+experiments and renders one self-contained markdown document with each
+artifact's measured rows next to the paper's claims — the machinery that
+keeps EXPERIMENTS.md regenerable instead of hand-maintained.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_ids, run_experiment
+from repro.experiments.base import ExperimentResult
+
+
+def _markdown_table(result: ExperimentResult) -> str:
+    if not result.rows:
+        return "*(no rows)*"
+    keys = list(result.rows[0])
+    header = "| " + " | ".join(keys) + " |"
+    divider = "| " + " | ".join("---" for __ in keys) + " |"
+    lines = [header, divider]
+    for row in result.rows:
+        cells = []
+        for key in keys:
+            value = row.get(key)
+            if isinstance(value, float):
+                cells.append(
+                    f"{value:.3e}" if value and abs(value) < 1e-3 else f"{value:.3f}"
+                )
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_result(result: ExperimentResult) -> str:
+    """One experiment as a markdown section."""
+    parts = [f"## {result.experiment_id} — {result.title}", ""]
+    if result.paper_claims:
+        parts.append("**Paper claims:**")
+        parts.append("")
+        for key, claim in result.paper_claims.items():
+            parts.append(f"- {key}: {claim}")
+        parts.append("")
+    parts.append(_markdown_table(result))
+    if result.notes:
+        parts.extend(["", f"> {result.notes}"])
+    parts.append("")
+    return "\n".join(parts)
+
+
+def generate_report(
+    ids: list[str] | None = None, quick: bool = True, seed: int = 0
+) -> str:
+    """Run experiments and render the full markdown report."""
+    ids = ids or experiment_ids()
+    mode = "quick" if quick else "full"
+    sections = [
+        "# Reproduction report",
+        "",
+        f"Mode: {mode} sweep, seed {seed}. One section per paper artifact;",
+        "see EXPERIMENTS.md for the curated paper-vs-measured discussion.",
+        "",
+    ]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, quick=quick, seed=seed)
+        sections.append(render_result(result))
+    return "\n".join(sections)

@@ -1,0 +1,134 @@
+"""The discrete-event engine.
+
+A classic calendar queue: events carry a firing time and a callback;
+:class:`Scheduler` pops them in time order and advances the simulation
+clock. Ties break on a monotone sequence number so simultaneous events
+fire in scheduling order, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordering is (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A heap of pending events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, callback: EventCallback) -> Event:
+        event = Event(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Pop the earliest live event, or None when drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """The firing time of the earliest live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Scheduler:
+    """Owns the clock and runs the event loop."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: EventCallback) -> Event:
+        """Schedule an absolute-time event; it must not be in the past."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.3f}s: clock is already at {self._now:.3f}s"
+            )
+        return self._queue.push(time, callback)
+
+    def schedule_in(self, delay: float, callback: EventCallback) -> Event:
+        """Schedule an event ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self._queue.push(self._now + delay, callback)
+
+    def run(
+        self,
+        until: float | None = None,
+        stop_condition: Callable[[], bool] | None = None,
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Drain the queue; returns the final clock value.
+
+        ``until`` caps simulated time (the clock is advanced to it);
+        ``stop_condition`` is re-evaluated after every event;
+        ``max_events`` is a runaway-loop guard.
+        """
+        fired = 0
+        while True:
+            if stop_condition is not None and stop_condition():
+                break
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                return self._now
+            event = self._queue.pop()
+            assert event is not None
+            self._now = event.time
+            event.callback()
+            self._events_fired += 1
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {max_events} events"
+                )
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now

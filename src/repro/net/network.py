@@ -1,0 +1,144 @@
+"""The broadcast network with latency and per-shard message accounting."""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.net.events import Scheduler
+from repro.net.messages import Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Message delay: a base latency plus uniform jitter.
+
+    The paper's testbed runs nine AWS c5.large instances in one region;
+    the defaults approximate intra-region datacenter latency. Set both
+    fields to zero for logical-time experiments where propagation is
+    irrelevant (e.g. the large-scale game simulations of Sec. VI-E).
+    """
+
+    base_seconds: float = 0.05
+    jitter_seconds: float = 0.05
+
+    def sample(self, rng: random.Random) -> float:
+        if self.jitter_seconds <= 0:
+            return self.base_seconds
+        return self.base_seconds + rng.uniform(0.0, self.jitter_seconds)
+
+
+class Network:
+    """Connects nodes, delivers latency-delayed messages, counts traffic.
+
+    Accounting: every *cross-shard* delivery (see
+    :attr:`MessageKind.is_cross_shard`) increments the counter of the
+    shard(s) involved — the per-shard "communication times" the paper
+    plots in Fig. 4(b) and 4(c).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency: LatencyModel | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._latency = latency or LatencyModel()
+        self._rng = random.Random(seed)
+        self._nodes: dict[str, "Node"] = {}
+        self.messages_delivered = 0
+        self.cross_shard_messages = 0
+        self.per_shard_messages: dict[int, int] = defaultdict(int)
+        self.per_kind_messages: dict[MessageKind, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, node: "Node") -> None:
+        if node.node_id in self._nodes:
+            raise NetworkError(f"node {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> "Node":
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id}") from None
+
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Deliver one message after a sampled latency."""
+        target = self.node(message.recipient)
+        delay = self._latency.sample(self._rng)
+        self._scheduler.schedule_in(delay, lambda: self._deliver(target, message))
+
+    def broadcast(self, message_kind: MessageKind, sender: str, payload: object,
+                  shard_id: int | None = None) -> int:
+        """Send a payload to every node except the sender; returns fan-out."""
+        recipients = [nid for nid in self._nodes if nid != sender]
+        for recipient in recipients:
+            self.send(
+                Message(
+                    kind=message_kind,
+                    sender=sender,
+                    recipient=recipient,
+                    payload=payload,
+                    shard_id=shard_id,
+                )
+            )
+        return len(recipients)
+
+    def multicast(self, message_kind: MessageKind, sender: str, payload: object,
+                  recipients: list[str], shard_id: int | None = None) -> int:
+        """Send a payload to an explicit recipient list."""
+        for recipient in recipients:
+            if recipient == sender:
+                continue
+            self.send(
+                Message(
+                    kind=message_kind,
+                    sender=sender,
+                    recipient=recipient,
+                    payload=payload,
+                    shard_id=shard_id,
+                )
+            )
+        return len(recipients)
+
+    def _deliver(self, target: "Node", message: Message) -> None:
+        self.messages_delivered += 1
+        self.per_kind_messages[message.kind] += 1
+        if message.kind.is_cross_shard:
+            self.cross_shard_messages += 1
+            if message.shard_id is not None:
+                self.per_shard_messages[message.shard_id] += 1
+        target.receive(message)
+
+    # ------------------------------------------------------------------
+    # accounting views
+    # ------------------------------------------------------------------
+    def mean_per_shard_messages(self, shard_count: int) -> float:
+        """Average cross-shard communication times per shard (Fig. 4b/4c)."""
+        if shard_count <= 0:
+            raise NetworkError("shard_count must be positive")
+        return self.cross_shard_messages / shard_count
+
+    def reset_accounting(self) -> None:
+        """Zero the counters (used between experiment repetitions)."""
+        self.messages_delivered = 0
+        self.cross_shard_messages = 0
+        self.per_shard_messages.clear()
+        self.per_kind_messages.clear()

@@ -1,0 +1,210 @@
+"""Full nodes: the per-miner workflow of Sec. III-C.
+
+A :class:`FullNode` owns the local ledger, world-state view, mempool and
+call graph of one miner. It implements the receive-side protocol exactly
+as the paper describes it:
+
+* on a transaction — check whether the sender belongs to this node's
+  shard (via the shard map / call graph) and pool it if so;
+* on a block — run the two verifications (packer really in the claimed
+  shard; claimed shard == own shard), then record, apply and de-pool.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chain.block import Block
+from repro.chain.callgraph import CallGraph
+from repro.chain.ledger import Ledger
+from repro.chain.mempool import Mempool
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.validation import BlockValidator, BlockVerdict
+from repro.consensus.miner import HonestBehavior, MinerBehavior, MinerIdentity
+from repro.errors import LedgerError
+from repro.net.messages import Message, MessageKind
+
+# Which shard does a transaction belong to? (None = not this node's business.)
+TxShardClassifier = Callable[[Transaction], int | None]
+
+
+class Node(abc.ABC):
+    """Anything addressable on the network."""
+
+    @property
+    @abc.abstractmethod
+    def node_id(self) -> str:
+        """The network address (we use the miner's public key)."""
+
+    @abc.abstractmethod
+    def receive(self, message: Message) -> None:
+        """Handle one delivered message."""
+
+
+@dataclass
+class NodeStats:
+    """Receive-side counters for one node."""
+
+    txs_pooled: int = 0
+    txs_ignored: int = 0
+    blocks_recorded: int = 0
+    blocks_foreign: int = 0
+    blocks_rejected: int = 0
+    rejection_reasons: list[str] = field(default_factory=list)
+
+
+class FullNode(Node):
+    """One miner's complete local view and protocol behavior."""
+
+    def __init__(
+        self,
+        identity: MinerIdentity,
+        shard_id: int,
+        membership_verifier: Callable[[str, int], bool],
+        tx_classifier: TxShardClassifier,
+        behavior: MinerBehavior | None = None,
+        state: WorldState | None = None,
+        selection_replay: object | None = None,
+    ) -> None:
+        self.identity = identity
+        self.shard_id = shard_id
+        self.behavior = behavior or HonestBehavior()
+        self.mempool = Mempool()
+        self.ledger = Ledger(shard_id=shard_id)
+        self.state = state if state is not None else WorldState()
+        self.callgraph = CallGraph()
+        self.stats = NodeStats()
+        self._tx_classifier = tx_classifier
+        self._block_validator = BlockValidator(
+            own_shard=shard_id, membership_verifier=membership_verifier
+        )
+        # Sec. IV-C enforcement: when a UnifiedReplay is installed, blocks
+        # that deviate from the unified transaction selection are rejected
+        # exactly like shard-membership liars.
+        self._selection_replay = selection_replay
+
+    # ------------------------------------------------------------------
+    # Node protocol
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> str:
+        return self.identity.public
+
+    def receive(self, message: Message) -> None:
+        if message.kind is MessageKind.TX:
+            self.on_transaction(message.payload)
+        elif message.kind is MessageKind.BLOCK:
+            self.on_block(message.payload)
+        # Other kinds (leader broadcasts etc.) are consumed by the
+        # coordinator layer; a bare full node ignores them.
+
+    # ------------------------------------------------------------------
+    # transaction path
+    # ------------------------------------------------------------------
+    def on_transaction(self, tx: Transaction) -> bool:
+        """Pool the transaction iff it belongs to this node's shard."""
+        self.callgraph.observe(tx)
+        tx_shard = self._tx_classifier(tx)
+        if tx_shard != self.shard_id:
+            self.stats.txs_ignored += 1
+            return False
+        if self.mempool.add(tx):
+            self.stats.txs_pooled += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # block path (the two Sec. III-C verifications)
+    # ------------------------------------------------------------------
+    def on_block(self, block: Block) -> BlockVerdict:
+        """Inspect, and when appropriate record, an incoming block."""
+        verdict = self._block_validator.inspect(block)
+        if not verdict.accepted:
+            self.stats.blocks_rejected += 1
+            self.stats.rejection_reasons.append(verdict.reason)
+            return verdict
+        if not verdict.recorded:
+            self.stats.blocks_foreign += 1
+            return verdict
+        if self._selection_replay is not None and not (
+            self._selection_replay.block_follows_selection(block)
+        ):
+            self.stats.blocks_rejected += 1
+            reason = (
+                f"miner {block.header.miner[:10]} deviated from the unified "
+                f"transaction selection"
+            )
+            self.stats.rejection_reasons.append(reason)
+            return BlockVerdict(accepted=False, recorded=False, reason=reason)
+        self._record_block(block)
+        return verdict
+
+    def _record_block(self, block: Block) -> None:
+        try:
+            self.ledger.add_block(block)
+        except LedgerError:
+            # Duplicate or orphan (e.g. lost a fork race we never saw the
+            # parent of): drop silently, as gossip protocols do.
+            return
+        self.state.apply_block_body(block.transactions, miner=block.header.miner)
+        self.mempool.remove_confirmed({tx.tx_id for tx in block.transactions})
+        self.stats.blocks_recorded += 1
+
+    # ------------------------------------------------------------------
+    # mining path
+    # ------------------------------------------------------------------
+    def forge_block(self, timestamp: float, capacity: int) -> Block:
+        """Assemble this miner's next block on top of her current head.
+
+        The transaction set comes from the miner's behavior (fee-greedy,
+        game-assigned, or a cheating variant), filtered to the still
+        sequentially-valid prefix.
+        """
+        # Ask the behavior for a candidate window wider than the block so
+        # invalid or nonce-gapped picks can be replaced, then pack the
+        # first `capacity` sequentially-valid transactions. The multi-pass
+        # loop lets a deferred transaction (nonce ahead of its sender's
+        # account) apply once its predecessor lands earlier in the block.
+        window = max(capacity, min(len(self.mempool), capacity * 2 + 8))
+        candidates = list(self.behavior.pick_transactions(self.mempool, window))
+        speculative = self.state.snapshot()
+        packable: list[Transaction] = []
+        progress = True
+        while progress and len(packable) < capacity and candidates:
+            progress = False
+            remaining: list[Transaction] = []
+            for tx in candidates:
+                if len(packable) < capacity and speculative.can_apply(tx):
+                    speculative.apply_transaction(tx)
+                    packable.append(tx)
+                    progress = True
+                else:
+                    remaining.append(tx)
+            candidates = remaining
+        return Block.build(
+            parent_hash=self.ledger.head_hash,
+            miner=self.identity.public,
+            shard_id=self.behavior.claimed_shard(self.shard_id),
+            height=self.ledger.height + 1,
+            timestamp=timestamp,
+            transactions=packable,
+        )
+
+    def adopt_block(self, block: Block) -> None:
+        """Record this miner's own freshly-mined block locally."""
+        self._record_block(block)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def confirmed_tx_count(self) -> int:
+        return len(self.ledger.confirmed_transactions())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FullNode({self.identity.name}, shard={self.shard_id}, "
+            f"pool={len(self.mempool)}, height={self.ledger.height})"
+        )

@@ -1,0 +1,104 @@
+"""Multi-epoch campaigns: the dynamic system over a traffic stream.
+
+:class:`repro.core.epoch.EpochManager` plans one epoch;
+:class:`Campaign` strings epochs together the way a live deployment
+would: each epoch's fresh traffic joins whatever the previous epoch
+deferred (shards that drew no miners), the plan is simulated, and the
+per-epoch metrics accumulate into a campaign-level summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.transaction import Transaction
+from repro.core.epoch import EpochManager, EpochPlan
+from repro.errors import SimulationError
+from repro.sim.config import SimulationConfig, TimingModel
+from repro.sim.simulator import ShardedSimulation, SimulationResult
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """One epoch's plan plus its simulated execution."""
+
+    epoch_index: int
+    plan: EpochPlan
+    result: SimulationResult
+    injected: int  # fresh transactions this epoch
+    carried_in: int  # deferred transactions inherited from the last epoch
+    deferred_out: int  # transactions handed to the next epoch
+
+
+@dataclass
+class CampaignResult:
+    """The whole campaign's record."""
+
+    epochs: list[EpochOutcome] = field(default_factory=list)
+
+    @property
+    def total_confirmed(self) -> int:
+        return sum(e.result.confirmed_transactions for e in self.epochs)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(e.injected for e in self.epochs)
+
+    @property
+    def final_backlog(self) -> int:
+        """Transactions still deferred when the campaign ended."""
+        return self.epochs[-1].deferred_out if self.epochs else 0
+
+    def confirmation_rate(self) -> float:
+        """Confirmed / injected over the campaign (1.0 = no backlog)."""
+        if self.total_injected == 0:
+            return 1.0
+        return self.total_confirmed / self.total_injected
+
+
+class Campaign:
+    """Runs an epoch manager against a stream of per-epoch workloads."""
+
+    def __init__(
+        self,
+        manager: EpochManager,
+        timing: TimingModel | None = None,
+        block_capacity: int = 10,
+        base_seed: int = 0,
+    ) -> None:
+        self._manager = manager
+        self._timing = timing or TimingModel.low_variance(interval=1.0, shape=24.0)
+        self._block_capacity = block_capacity
+        self._base_seed = base_seed
+
+    def run(self, traffic: list[list[Transaction]]) -> CampaignResult:
+        """Execute one epoch per traffic batch, carrying deferrals over."""
+        if not traffic:
+            raise SimulationError("a campaign needs at least one epoch of traffic")
+        campaign = CampaignResult()
+        carryover: list[Transaction] = []
+        for epoch_index, fresh in enumerate(traffic):
+            workload = carryover + list(fresh)
+            if not workload:
+                carryover = []
+                continue
+            plan = self._manager.run_epoch(epoch_index, workload)
+            config = SimulationConfig(
+                timing=self._timing,
+                block_capacity=self._block_capacity,
+                seed=self._base_seed + epoch_index,
+            )
+            result = ShardedSimulation(plan.to_specs(), config=config).run()
+            deferred = plan.deferred_transactions()
+            campaign.epochs.append(
+                EpochOutcome(
+                    epoch_index=epoch_index,
+                    plan=plan,
+                    result=result,
+                    injected=len(fresh),
+                    carried_in=len(carryover),
+                    deferred_out=len(deferred),
+                )
+            )
+            carryover = deferred
+        return campaign

@@ -1,0 +1,59 @@
+"""Metric helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.simulator import SimulationResult
+
+
+def throughput_improvement(ethereum_time: float, sharded_time: float) -> float:
+    """The paper's headline metric: ``W_E / W_S`` (Sec. VI-A).
+
+    ``W_E`` and ``W_S`` are the waiting times until every injected
+    transaction is validated in Ethereum and in the sharding scheme.
+    """
+    if ethereum_time <= 0 or sharded_time <= 0:
+        raise SimulationError("waiting times must be positive")
+    return ethereum_time / sharded_time
+
+
+@dataclass(frozen=True)
+class EmptyBlockSummary:
+    """Aggregated empty-block statistics of one run."""
+
+    total: int
+    per_shard_mean: float
+    per_shard_max: int
+    shard_count: int
+
+
+def summarize_empty_blocks(
+    result: SimulationResult, shard_ids: list[int] | None = None
+) -> EmptyBlockSummary:
+    """Summarize empty blocks, optionally over a subset of shards.
+
+    Fig. 3(c) reports *per-shard* empty blocks over the small shards
+    only; pass their ids to scope the summary.
+    """
+    shards = result.shards
+    if shard_ids is not None:
+        shards = {sid: shards[sid] for sid in shard_ids if sid in shards}
+    if not shards:
+        return EmptyBlockSummary(total=0, per_shard_mean=0.0, per_shard_max=0, shard_count=0)
+    counts = [outcome.empty_blocks for outcome in shards.values()]
+    return EmptyBlockSummary(
+        total=sum(counts),
+        per_shard_mean=statistics.mean(counts),
+        per_shard_max=max(counts),
+        shard_count=len(counts),
+    )
+
+
+def mean_over_runs(values: list[float]) -> float:
+    """Average of repeated-run measurements (the paper repeats 20x)."""
+    if not values:
+        raise SimulationError("no runs to average")
+    return statistics.mean(values)

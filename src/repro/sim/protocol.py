@@ -1,0 +1,314 @@
+"""Full-node protocol simulation (the Sec. III-C workflow, end to end).
+
+Where :mod:`repro.sim.simulator` abstracts shards into timed lanes for
+scale, this module wires *actual* :class:`~repro.net.node.FullNode`
+instances to a latency network: users broadcast transactions, miners
+classify them with the call graph, mine PoW blocks, broadcast them, and
+every receiver runs the two Sec. III-C verifications backed by the
+publicly verifiable miner assignment. Cheaters (wrong ShardID, ignored
+selection) are injected through miner behaviors and get their blocks
+rejected — the integration surface the security tests exercise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.chain.callgraph import CallGraph
+from repro.chain.fees import FeePolicy
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.consensus.miner import MinerBehavior, MinerIdentity
+from repro.consensus.pow import MiningProcess, PoWParameters
+from repro.consensus.rewards import RewardLedger
+from repro.core.miner_assignment import MinerAssignment, assign_miners
+from repro.core.shard_formation import ShardMap, form_shards
+from repro.errors import SimulationError
+from repro.net.events import Scheduler
+from repro.net.messages import MessageKind
+from repro.net.network import LatencyModel, Network
+from repro.net.node import FullNode
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Configuration of a full-node protocol run."""
+
+    pow_params: PoWParameters = field(default_factory=PoWParameters.one_block_per_minute)
+    block_capacity: int = 10
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    seed: int = 0
+    max_duration: float = 100_000.0
+    initial_balance: int = 1_000_000
+
+
+@dataclass
+class ProtocolResult:
+    """What a protocol run produced."""
+
+    duration: float
+    confirmed_tx_ids: set[str]
+    blocks_rejected: int
+    rejection_reasons: list[str]
+    per_shard_confirmed: dict[int, int]
+    rewards: RewardLedger = field(default_factory=RewardLedger)
+
+    def confirmed_count(self) -> int:
+        return len(self.confirmed_tx_ids)
+
+
+class ProtocolSimulation:
+    """Wires miners, users and the network into one runnable system."""
+
+    def __init__(
+        self,
+        miners: list[MinerIdentity],
+        transactions: list[Transaction],
+        config: ProtocolConfig | None = None,
+        behaviors: dict[str, MinerBehavior] | None = None,
+        assignment: MinerAssignment | None = None,
+        unified: bool = False,
+    ) -> None:
+        if not miners:
+            raise SimulationError("a protocol run needs miners")
+        if not transactions:
+            raise SimulationError("a protocol run needs transactions")
+        self._config = config or ProtocolConfig()
+        self._miners = list(miners)
+        self._transactions = list(transactions)
+        self._behaviors = behaviors or {}
+
+        # Shard topology from the workload; MaxShard-style global view for
+        # routing (every node classifies with the same call graph).
+        self._shard_map, self._callgraph = form_shards(transactions)
+        fractions = self._fractions()
+        self._assignment = assignment or assign_miners(
+            self._miners, fractions, epoch_seed=f"protocol-{self._config.seed}"
+        )
+
+        # Full Sec. IV-C mode: build the leader's unification packet, give
+        # every multi-miner shard's members their game-assigned sets, and
+        # install the local replay so deviations are rejected on receive.
+        self._replay = self._build_unified_replay() if unified else None
+
+        self._scheduler = Scheduler()
+        self._network = Network(
+            self._scheduler, latency=self._config.latency, seed=self._config.seed
+        )
+        self._rewards = RewardLedger(policy=FeePolicy())
+        self._nodes: dict[str, FullNode] = {}
+        self._mining: dict[str, MiningProcess] = {}
+        self._build_nodes()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _fractions(self) -> dict[int, float]:
+        from repro.core.shard_formation import partition_transactions
+
+        partition = partition_transactions(
+            self._transactions, self._shard_map, self._callgraph
+        )
+        fractions = partition.fractions()
+        # Every shard id needs a positive fraction for the draw intervals;
+        # give empty shards a minimal epsilon share of miners.
+        return {
+            shard: max(frac, 0.5) for shard, frac in fractions.items()
+        }
+
+    def _build_unified_replay(self):
+        from repro.core.selection.congestion_game import SelectionGameConfig
+        from repro.core.shard_formation import partition_transactions
+        from repro.core.unification import (
+            ShardSelectionInput,
+            UnificationPacket,
+            UnifiedReplay,
+        )
+
+        partition = partition_transactions(
+            self._transactions, self._shard_map, self._callgraph
+        )
+        selection_inputs = []
+        for shard, txs in sorted(partition.by_shard.items()):
+            members = self._assignment.members_of(shard)
+            if not txs or len(members) < 2:
+                continue
+            selection_inputs.append(
+                ShardSelectionInput(
+                    shard_id=shard,
+                    tx_ids=tuple(tx.tx_id for tx in txs),
+                    fees=tuple(float(tx.fee) for tx in txs),
+                    miners=tuple(members),
+                )
+            )
+        packet = UnificationPacket(
+            epoch_seed=f"protocol-{self._config.seed}",
+            leader_public=self._assignment.leader_public,
+            randomness=self._assignment.randomness,
+            selection_inputs=tuple(selection_inputs),
+            selection_config=SelectionGameConfig(
+                capacity=self._config.block_capacity
+            ),
+        )
+        return UnifiedReplay(packet)
+
+    def _unified_behavior(self, public: str, shard: int) -> MinerBehavior | None:
+        """The game-assigned behavior for a miner under unification."""
+        from repro.consensus.miner import AssignedSelectionBehavior
+        from repro.errors import UnificationError
+
+        if self._replay is None:
+            return None
+        try:
+            assigned = self._replay.assigned_tx_ids(shard, public)
+        except UnificationError:
+            return None
+        return AssignedSelectionBehavior(list(assigned))
+
+    def _classifier(self):
+        shard_map, callgraph = self._shard_map, self._callgraph
+
+        def classify(tx: Transaction) -> int:
+            return shard_map.shard_of_transaction(tx, callgraph)
+
+        return classify
+
+    def _build_nodes(self) -> None:
+        verifier = self._assignment.verifier()
+        classifier = self._classifier()
+        seed_rng = random.Random(self._config.seed)
+        for miner in self._miners:
+            shard = self._assignment.shard_of[miner.public]
+            state = WorldState()
+            for tx in self._transactions:
+                state.create_account(tx.sender)
+                account = state.account(tx.sender)
+                account.balance = self._config.initial_balance
+            self._seed_contracts(state)
+            behavior = self._behaviors.get(miner.public)
+            if behavior is None:
+                behavior = self._unified_behavior(miner.public, shard)
+            node = FullNode(
+                identity=miner,
+                shard_id=shard,
+                membership_verifier=verifier,
+                tx_classifier=classifier,
+                behavior=behavior,
+                state=state,
+                selection_replay=self._replay,
+            )
+            self._network.register(node)
+            self._nodes[miner.public] = node
+            self._mining[miner.public] = MiningProcess(
+                self._config.pow_params,
+                hashrate_fraction=1.0,
+                seed=seed_rng.getrandbits(32),
+            )
+
+    def _seed_contracts(self, state: WorldState) -> None:
+        from repro.chain.contract import SmartContract
+
+        contracts = {
+            tx.contract for tx in self._transactions if tx.contract is not None
+        }
+        for address in contracts:
+            state.deploy_contract(
+                SmartContract.unconditional(address, beneficiary=f"sink-{address[:8]}")
+            )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def assignment(self) -> MinerAssignment:
+        return self._assignment
+
+    @property
+    def shard_map(self) -> ShardMap:
+        return self._shard_map
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def node(self, public: str) -> FullNode:
+        return self._nodes[public]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> ProtocolResult:
+        """Inject the workload, mine until it drains, report the outcome."""
+        # Users broadcast transactions at t=0 (the paper injects up front).
+        for tx in self._transactions:
+            for node in self._nodes.values():
+                node.on_transaction(tx)
+
+        for public in self._nodes:
+            self._schedule_mining(public)
+
+        target_ids = self._relevant_tx_ids()
+
+        def drained() -> bool:
+            return self._confirmed_ids() >= target_ids
+
+        self._scheduler.run(
+            until=self._config.max_duration, stop_condition=drained
+        )
+        confirmed = self._confirmed_ids()
+        rejected = sum(n.stats.blocks_rejected for n in self._nodes.values())
+        reasons = [
+            reason
+            for node in self._nodes.values()
+            for reason in node.stats.rejection_reasons
+        ]
+        return ProtocolResult(
+            duration=self._scheduler.now,
+            confirmed_tx_ids=confirmed,
+            blocks_rejected=rejected,
+            rejection_reasons=reasons,
+            per_shard_confirmed=self._per_shard_confirmed(),
+            rewards=self._rewards,
+        )
+
+    def _schedule_mining(self, public: str) -> None:
+        delay = self._mining[public].next_block_time()
+        self._scheduler.schedule_in(delay, lambda: self._mine(public))
+
+    def _mine(self, public: str) -> None:
+        node = self._nodes[public]
+        block = node.forge_block(
+            timestamp=self._scheduler.now, capacity=self._config.block_capacity
+        )
+        node.adopt_block(block)
+        self._rewards.credit_block(block)
+        self._network.broadcast(
+            MessageKind.BLOCK, sender=public, payload=block, shard_id=None
+        )
+        self._schedule_mining(public)
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+    def _relevant_tx_ids(self) -> set[str]:
+        """Transactions some populated shard can actually confirm."""
+        populated = {node.shard_id for node in self._nodes.values()}
+        classifier = self._classifier()
+        return {
+            tx.tx_id for tx in self._transactions if classifier(tx) in populated
+        }
+
+    def _confirmed_ids(self) -> set[str]:
+        confirmed: set[str] = set()
+        for node in self._nodes.values():
+            confirmed |= node.ledger.confirmed_tx_ids()
+        return confirmed
+
+    def _per_shard_confirmed(self) -> dict[int, int]:
+        per_shard: dict[int, int] = {}
+        for node in self._nodes.values():
+            count = len(node.ledger.confirmed_tx_ids())
+            previous = per_shard.get(node.shard_id, 0)
+            per_shard[node.shard_id] = max(previous, count)
+        return per_shard

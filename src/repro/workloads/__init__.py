@@ -1,0 +1,37 @@
+"""Synthetic workload generation.
+
+The paper's testbed injects synthetic contract-invoking transactions
+("we do not use real transactions in the Ethereum. Instead, we register
+multiple smart contracts..."). These generators produce the same shapes:
+
+* uniformly sharded contract traffic (Fig. 3a/3b, Fig. 4a);
+* skewed traffic with deliberately small shards (Fig. 3c-3g, Fig. 4c);
+* multi-input transactions for the cross-shard comparison (Fig. 4b);
+* single-shard fee workloads for the selection game (Fig. 3h, Fig. 5b).
+"""
+
+from repro.workloads.distributions import (
+    binomial_fees,
+    exponential_fees,
+    uniform_fees,
+    random_small_shard_sizes,
+)
+from repro.workloads.generators import (
+    WorkloadBuilder,
+    single_shard_workload,
+    small_shard_workload,
+    three_input_workload,
+    uniform_contract_workload,
+)
+
+__all__ = [
+    "WorkloadBuilder",
+    "uniform_contract_workload",
+    "small_shard_workload",
+    "three_input_workload",
+    "single_shard_workload",
+    "uniform_fees",
+    "binomial_fees",
+    "exponential_fees",
+    "random_small_shard_sizes",
+]

@@ -1,0 +1,71 @@
+"""Fee and size distributions used by the workload generators."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+
+
+def uniform_fees(
+    count: int, low: int = 1, high: int = 100, seed: int | None = None
+) -> list[int]:
+    """Integer fees drawn uniformly from ``[low, high]``."""
+    if count < 0:
+        raise WorkloadError("fee count cannot be negative")
+    if low < 0 or high < low:
+        raise WorkloadError(f"invalid fee range [{low}, {high}]")
+    rng = random.Random(seed)
+    return [rng.randint(low, high) for __ in range(count)]
+
+
+def binomial_fees(
+    count: int, total_fees: int = 200, seed: int | None = None
+) -> list[int]:
+    """Fees following the paper's Eq. (4) binomial model: Binomial(N, 1/2).
+
+    ``total_fees`` is the paper's ``N`` ("200 transaction fees in total"
+    in the Sec. IV-D headline number).
+    """
+    if count < 0:
+        raise WorkloadError("fee count cannot be negative")
+    if total_fees <= 0:
+        raise WorkloadError("total_fees must be positive")
+    rng = random.Random(seed)
+    return [
+        sum(1 for __ in range(total_fees) if rng.random() < 0.5)
+        for __ in range(count)
+    ]
+
+
+def exponential_fees(
+    count: int, mean: float = 20.0, seed: int | None = None
+) -> list[int]:
+    """Heavy-ish tailed fees: a few transactions dominate.
+
+    This is the regime the paper blames for the selection game's
+    worst-case ("a transaction set with much higher transaction fees
+    than others", Sec. VI-E2).
+    """
+    if count < 0:
+        raise WorkloadError("fee count cannot be negative")
+    if mean <= 0:
+        raise WorkloadError("mean fee must be positive")
+    rng = random.Random(seed)
+    return [max(1, round(rng.expovariate(1.0 / mean))) for __ in range(count)]
+
+
+def random_small_shard_sizes(
+    count: int, low: int = 1, high: int = 9, seed: int | None = None
+) -> list[int]:
+    """Random per-shard transaction counts for the merging simulations.
+
+    Defaults follow Sec. VI-C1: "We only inject 1 to 9 transactions into
+    a small shard."
+    """
+    if count < 0:
+        raise WorkloadError("shard count cannot be negative")
+    if low <= 0 or high < low:
+        raise WorkloadError(f"invalid size range [{low}, {high}]")
+    rng = random.Random(seed)
+    return [rng.randint(low, high) for __ in range(count)]

@@ -1,0 +1,238 @@
+"""Transaction workload generators.
+
+All generators route through :class:`WorkloadBuilder`, which manages
+sender accounts and their nonce sequences so that every generated
+workload validates cleanly against a fresh world state.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.chain.transaction import Transaction, TransactionKind
+from repro.errors import WorkloadError
+from repro.workloads.distributions import uniform_fees
+
+
+def _contract_address(index: int) -> str:
+    return f"0xc{index:039d}"
+
+
+def _user_address(name: str) -> str:
+    return f"0xu{name}"
+
+
+@dataclass
+class WorkloadBuilder:
+    """Stateful builder tracking sender nonces and contract addresses."""
+
+    seed: int | None = None
+    _nonces: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    _rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    def contract_call(
+        self,
+        sender: str,
+        contract: str,
+        fee: int,
+        amount: int = 1,
+        extra_inputs: tuple[str, ...] = (),
+    ) -> Transaction:
+        """A contract-invoking transaction with the sender's next nonce."""
+        nonce = self._nonces[sender]
+        self._nonces[sender] += 1
+        return Transaction(
+            sender=sender,
+            recipient=contract,
+            amount=amount,
+            fee=fee,
+            kind=TransactionKind.CONTRACT_CALL,
+            contract=contract,
+            nonce=nonce,
+            extra_inputs=extra_inputs,
+        )
+
+    def direct_transfer(
+        self,
+        sender: str,
+        recipient: str,
+        fee: int,
+        amount: int = 1,
+        extra_inputs: tuple[str, ...] = (),
+    ) -> Transaction:
+        """A user-to-user transfer (lands in the MaxShard)."""
+        nonce = self._nonces[sender]
+        self._nonces[sender] += 1
+        return Transaction(
+            sender=sender,
+            recipient=recipient,
+            amount=amount,
+            fee=fee,
+            kind=TransactionKind.DIRECT_TRANSFER,
+            nonce=nonce,
+            extra_inputs=extra_inputs,
+        )
+
+    def senders_seen(self) -> list[str]:
+        return list(self._nonces)
+
+
+def _per_shard_counts(total: int, shards: int) -> list[int]:
+    """Split ``total`` transactions as evenly as possible over shards."""
+    base = total // shards
+    counts = [base] * shards
+    for i in range(total - base * shards):
+        counts[i] += 1
+    return counts
+
+
+def uniform_contract_workload(
+    total_txs: int,
+    contract_shards: int,
+    fee_low: int = 1,
+    fee_high: int = 100,
+    seed: int | None = None,
+) -> list[Transaction]:
+    """The Sec. VI-B1 workload: transactions uniform over shards.
+
+    ``contract_shards`` is the paper's ``s``: there are ``s`` contracts
+    plus the MaxShard, and "the number of transactions in each shard is
+    total/(s+1)". Contract shards are fed by single-contract senders;
+    the MaxShard slice is direct transfers. ``contract_shards=0`` yields
+    a pure non-sharded (all-MaxShard) workload.
+    """
+    if total_txs < 0:
+        raise WorkloadError("total_txs cannot be negative")
+    if contract_shards < 0:
+        raise WorkloadError("contract_shards cannot be negative")
+    builder = WorkloadBuilder(seed=seed)
+    fees = uniform_fees(total_txs, fee_low, fee_high, seed=seed)
+    shard_slots = contract_shards + 1
+    counts = _per_shard_counts(total_txs, shard_slots)
+
+    txs: list[Transaction] = []
+    fee_iter = iter(fees)
+    # MaxShard slice: direct transfers between dedicated users.
+    for i in range(counts[0]):
+        sender = _user_address(f"max-{seed}-{i}")
+        recipient = _user_address(f"maxdst-{seed}-{i}")
+        txs.append(builder.direct_transfer(sender, recipient, fee=next(fee_iter)))
+    # One slice per contract shard, from single-contract senders.
+    for shard_index in range(contract_shards):
+        contract = _contract_address(shard_index + 1)
+        for i in range(counts[shard_index + 1]):
+            sender = _user_address(f"c{shard_index + 1}-{seed}-{i}")
+            txs.append(builder.contract_call(sender, contract, fee=next(fee_iter)))
+    return txs
+
+
+def small_shard_workload(
+    total_txs: int,
+    shard_count: int,
+    small_shard_sizes: list[int],
+    fee_low: int = 1,
+    fee_high: int = 100,
+    seed: int | None = None,
+) -> tuple[list[Transaction], dict[int, int]]:
+    """The Sec. VI-C workload: some deliberately tiny shards.
+
+    ``small_shard_sizes`` fixes the transaction count of the first
+    ``len(small_shard_sizes)`` contract shards (the paper injects 1-9
+    each); the remaining transactions spread evenly over the other
+    contract shards ("more than 22 transactions into a regular shard").
+    Returns the transactions plus the intended size of every contract
+    shard (keyed by shard index starting at 1; the MaxShard gets none
+    here, matching the experiment's pure-contract traffic).
+    """
+    small_count = len(small_shard_sizes)
+    if shard_count <= small_count:
+        raise WorkloadError(
+            f"need more shards ({shard_count}) than small shards ({small_count})"
+        )
+    small_total = sum(small_shard_sizes)
+    if small_total > total_txs:
+        raise WorkloadError("small shards cannot hold more than the whole workload")
+    regular_count = shard_count - small_count
+    regular_counts = _per_shard_counts(total_txs - small_total, regular_count)
+
+    sizes: dict[int, int] = {}
+    for index, size in enumerate(small_shard_sizes, start=1):
+        sizes[index] = size
+    for index, size in enumerate(regular_counts, start=small_count + 1):
+        sizes[index] = size
+
+    builder = WorkloadBuilder(seed=seed)
+    fees = uniform_fees(total_txs, fee_low, fee_high, seed=seed)
+    fee_iter = iter(fees)
+    txs: list[Transaction] = []
+    for shard_index, size in sizes.items():
+        contract = _contract_address(shard_index)
+        for i in range(size):
+            sender = _user_address(f"c{shard_index}-{seed}-{i}")
+            txs.append(builder.contract_call(sender, contract, fee=next(fee_iter)))
+    return txs, sizes
+
+
+def three_input_workload(
+    count: int,
+    inputs: int = 3,
+    fee_low: int = 1,
+    fee_high: int = 100,
+    seed: int | None = None,
+) -> list[Transaction]:
+    """The Fig. 4(b) workload: transactions whose validation reads
+    ``inputs`` accounts ("All the injected transactions have 3 inputs").
+
+    In our design these are multi-account transfers routed to the
+    MaxShard (zero cross-shard communication); ChainSpace scatters them
+    randomly and pays S-BAC consensus per foreign input shard.
+    """
+    if inputs < 1:
+        raise WorkloadError("a transaction needs at least one input")
+    builder = WorkloadBuilder(seed=seed)
+    fees = uniform_fees(count, fee_low, fee_high, seed=seed)
+    txs: list[Transaction] = []
+    for i in range(count):
+        sender = _user_address(f"multi-{seed}-{i}")
+        recipient = _user_address(f"multidst-{seed}-{i}")
+        extra = tuple(
+            _user_address(f"input-{seed}-{i}-{k}") for k in range(inputs - 1)
+        )
+        txs.append(
+            builder.direct_transfer(
+                sender, recipient, fee=fees[i], extra_inputs=extra
+            )
+        )
+    return txs
+
+
+def single_shard_workload(
+    count: int,
+    fees: list[int] | None = None,
+    seed: int | None = None,
+) -> list[Transaction]:
+    """The Fig. 3(h)/Fig. 5(b) workload: one contract, many transactions.
+
+    All senders invoke the same contract, so the whole workload lands in
+    one shard and the intra-shard selection game is the only lever.
+    """
+    if fees is None:
+        fees = uniform_fees(count, seed=seed)
+    if len(fees) != count:
+        raise WorkloadError(f"{len(fees)} fees for {count} transactions")
+    builder = WorkloadBuilder(seed=seed)
+    contract = _contract_address(1)
+    return [
+        builder.contract_call(
+            _user_address(f"solo-{seed}-{i}"), contract, fee=fees[i]
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,82 @@
+"""Tests for repro.baselines.chainspace."""
+
+import pytest
+
+from repro.baselines.chainspace import ChainSpaceModel
+from repro.errors import SimulationError
+from repro.sim.config import SimulationConfig, TimingModel
+from repro.workloads.generators import three_input_workload, uniform_contract_workload
+
+
+class TestPlacement:
+    def test_even_distribution(self):
+        model = ChainSpaceModel(shard_count=4, seed=1)
+        txs = uniform_contract_workload(100, 3, seed=2)
+        placed = model.place_transactions(txs)
+        sizes = [len(v) for v in placed.values()]
+        assert sum(sizes) == 100
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_account_shard_deterministic(self):
+        model = ChainSpaceModel(shard_count=9, seed=3)
+        assert model.account_shard("0xua") == model.account_shard("0xua")
+
+    def test_account_shards_spread(self):
+        model = ChainSpaceModel(shard_count=9, seed=4)
+        shards = {model.account_shard(f"0xu{i}") for i in range(200)}
+        assert shards == set(range(9))
+
+    def test_invalid_construction(self):
+        with pytest.raises(SimulationError):
+            ChainSpaceModel(shard_count=0)
+        with pytest.raises(SimulationError):
+            ChainSpaceModel(shard_count=1, miners_per_shard=0)
+        with pytest.raises(SimulationError):
+            ChainSpaceModel(shard_count=1, sbac_rounds=0)
+
+
+class TestThroughput:
+    def test_parallel_confirmation(self):
+        timing = TimingModel.low_variance(interval=1.0, shape=48.0)
+        txs = uniform_contract_workload(180, 8, seed=5)
+        one = ChainSpaceModel(shard_count=1, seed=6).run_throughput(
+            txs, config=SimulationConfig(timing=timing, seed=7)
+        )
+        nine = ChainSpaceModel(shard_count=9, seed=6).run_throughput(
+            txs, config=SimulationConfig(timing=timing, seed=7)
+        )
+        assert nine.makespan < one.makespan
+        assert nine.all_confirmed
+
+
+class TestCommunication:
+    def test_grows_linearly_with_volume(self):
+        """The Fig. 4(b) shape."""
+        model_small = ChainSpaceModel(shard_count=9, seed=8)
+        model_large = ChainSpaceModel(shard_count=9, seed=8)
+        small = model_small.count_communication(three_input_workload(500, seed=9))
+        large = model_large.count_communication(three_input_workload(2_000, seed=9))
+        ratio = large.per_shard_mean / small.per_shard_mean
+        assert ratio == pytest.approx(4.0, rel=0.2)
+
+    def test_zero_for_empty_workload(self):
+        model = ChainSpaceModel(shard_count=9, seed=10)
+        comm = model.count_communication([])
+        assert comm.total_messages == 0
+        assert comm.cross_shard_transactions == 0
+
+    def test_most_multi_input_txs_are_cross_shard(self):
+        model = ChainSpaceModel(shard_count=9, seed=11)
+        comm = model.count_communication(three_input_workload(1_000, seed=12))
+        assert comm.cross_shard_transactions > 900
+
+    def test_rounds_scale_message_count(self):
+        txs = three_input_workload(300, seed=13)
+        one_round = ChainSpaceModel(9, sbac_rounds=1, seed=14).count_communication(txs)
+        two_rounds = ChainSpaceModel(9, sbac_rounds=2, seed=14).count_communication(txs)
+        assert two_rounds.total_messages == 2 * one_round.total_messages
+
+    def test_per_shard_attribution_sums(self):
+        model = ChainSpaceModel(shard_count=5, seed=15)
+        comm = model.count_communication(three_input_workload(200, seed=16))
+        assert sum(comm.per_shard.values()) == comm.total_messages

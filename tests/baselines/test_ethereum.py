@@ -1,0 +1,51 @@
+"""Tests for repro.baselines.ethereum."""
+
+import pytest
+
+from repro.baselines.ethereum import ethereum_spec, run_ethereum
+from repro.sim.config import SimulationConfig, TimingModel
+from repro.workloads.generators import uniform_contract_workload
+
+
+class TestEthereumBaseline:
+    def test_single_shard_spec(self):
+        txs = uniform_contract_workload(20, 2, seed=1)
+        spec = ethereum_spec(txs, miner_count=5)
+        assert len(spec.miners) == 5
+        assert len(spec.transactions) == 20
+        assert spec.mode == "greedy"
+
+    def test_run_confirms_everything(self):
+        txs = uniform_contract_workload(30, 2, seed=2)
+        result = run_ethereum(txs, miner_count=3, config=SimulationConfig(seed=3))
+        assert result.all_confirmed
+        assert result.confirmed_transactions == 30
+
+    def test_serialized_makespan_scales_with_blocks(self):
+        """20 txs at capacity 10 is 2 blocks; 200 txs is 20 blocks."""
+        timing = TimingModel.low_variance(interval=1.0, shape=48.0)
+        small = run_ethereum(
+            uniform_contract_workload(20, 0, seed=4),
+            miner_count=4,
+            config=SimulationConfig(timing=timing, seed=5),
+        )
+        large = run_ethereum(
+            uniform_contract_workload(200, 0, seed=4),
+            miner_count=4,
+            config=SimulationConfig(timing=timing, seed=5),
+        )
+        assert large.makespan / small.makespan == pytest.approx(10.0, rel=0.35)
+
+    def test_retargeting_makes_miners_irrelevant(self):
+        """The Table I plateau: with the difficulty floor active, more
+        miners do not speed up serialized confirmation."""
+        timing = TimingModel.low_variance(interval=1.0, shape=48.0)
+        txs = uniform_contract_workload(100, 0, seed=6)
+        few = run_ethereum(txs, 2, SimulationConfig(timing=timing, seed=7))
+        many = run_ethereum(txs, 9, SimulationConfig(timing=timing, seed=7))
+        assert many.makespan == pytest.approx(few.makespan, rel=0.3)
+
+    def test_no_empty_blocks_until_drain(self):
+        txs = uniform_contract_workload(40, 0, seed=8)
+        result = run_ethereum(txs, 3, SimulationConfig(seed=9))
+        assert result.total_empty_blocks == 0

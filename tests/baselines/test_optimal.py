@@ -1,0 +1,46 @@
+"""Tests for repro.baselines.optimal."""
+
+import pytest
+
+from repro.baselines.optimal import (
+    optimal_distinct_set_count,
+    optimal_new_shard_count,
+)
+from repro.errors import MergingError, SelectionError
+
+
+class TestOptimalNewShards:
+    def test_exact_division(self):
+        assert optimal_new_shard_count([5, 5, 5, 5], lower_bound=10) == 2
+
+    def test_floor_division(self):
+        assert optimal_new_shard_count([5, 5, 5], lower_bound=10) == 1
+
+    def test_below_bound(self):
+        assert optimal_new_shard_count([3, 3], lower_bound=10) == 0
+
+    def test_empty(self):
+        assert optimal_new_shard_count([], lower_bound=10) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MergingError):
+            optimal_new_shard_count([1], lower_bound=0)
+        with pytest.raises(MergingError):
+            optimal_new_shard_count([-1], lower_bound=10)
+
+
+class TestOptimalDistinctSets:
+    def test_miner_bound(self):
+        assert optimal_distinct_set_count(5, tx_count=100, capacity=1) == 5
+
+    def test_tx_bound(self):
+        assert optimal_distinct_set_count(100, tx_count=30, capacity=10) == 3
+
+    def test_zero_txs(self):
+        assert optimal_distinct_set_count(5, tx_count=0) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SelectionError):
+            optimal_distinct_set_count(-1, 10)
+        with pytest.raises(SelectionError):
+            optimal_distinct_set_count(1, 10, capacity=0)

@@ -1,0 +1,71 @@
+"""Tests for repro.baselines.random_merge."""
+
+import pytest
+
+from repro.baselines.random_merge import RandomizedMerging
+from repro.core.merging.game import MergingGameConfig, ShardPlayer
+from repro.errors import MergingError
+
+CONFIG = MergingGameConfig(shard_reward=10.0, lower_bound=10)
+
+
+def players_of(sizes):
+    return [ShardPlayer(i, s, 2.0) for i, s in enumerate(sizes, start=1)]
+
+
+class TestRandomizedMerging:
+    def test_formed_shards_satisfy_bound(self):
+        result = RandomizedMerging(CONFIG, seed=1).run(players_of([5] * 10))
+        assert all(size >= CONFIG.lower_bound for size in result.new_shard_sizes)
+
+    def test_members_disjoint(self):
+        result = RandomizedMerging(CONFIG, seed=2).run(players_of([5] * 10))
+        seen = set()
+        for members in result.new_shard_members:
+            assert not (set(members) & seen)
+            seen |= set(members)
+
+    def test_size_conservation(self):
+        players = players_of([3, 8, 5, 6, 9, 2])
+        result = RandomizedMerging(CONFIG, seed=3).run(players)
+        total = sum(result.new_shard_sizes) + sum(
+            p.size for p in result.leftover_players
+        )
+        assert total == sum(p.size for p in players)
+
+    def test_deterministic_under_seed(self):
+        a = RandomizedMerging(CONFIG, seed=4).run(players_of([5] * 8))
+        b = RandomizedMerging(CONFIG, seed=4).run(players_of([5] * 8))
+        assert a.new_shard_sizes == b.new_shard_sizes
+
+    def test_too_small_population_does_nothing(self):
+        result = RandomizedMerging(CONFIG, seed=5).run(players_of([3]))
+        assert result.new_shard_count == 0
+
+    def test_invalid_probability(self):
+        with pytest.raises(MergingError):
+            RandomizedMerging(CONFIG, probability=0.0)
+        with pytest.raises(MergingError):
+            RandomizedMerging(CONFIG, probability=1.0)
+
+    def test_more_attempts_form_more_shards(self):
+        """The retry budget is the strength knob of the baseline."""
+        import statistics
+
+        def mean_count(attempts):
+            counts = []
+            for seed in range(40):
+                merging = RandomizedMerging(
+                    CONFIG, seed=seed, max_attempts_per_round=attempts
+                )
+                counts.append(merging.run(players_of([5] * 8)).new_shard_count)
+            return statistics.mean(counts)
+
+        assert mean_count(16) >= mean_count(1)
+
+    def test_oversized_shards_typical(self):
+        """Coin flips lump ~half the population together, overshooting L
+        — the inefficiency that costs the baseline shard count."""
+        result = RandomizedMerging(CONFIG, seed=7).run(players_of([5] * 12))
+        if result.new_shard_sizes:
+            assert max(result.new_shard_sizes) > CONFIG.lower_bound

@@ -1,0 +1,59 @@
+"""Tests for repro.chain.account."""
+
+import pytest
+
+from repro.chain.account import Account, AccountKind
+from repro.errors import InsufficientBalanceError
+
+
+class TestAccount:
+    def test_defaults(self):
+        account = Account(address="0xu1")
+        assert account.kind is AccountKind.USER
+        assert account.balance == 0
+        assert account.nonce == 0
+
+    def test_credit(self):
+        account = Account(address="0xu1")
+        account.credit(10)
+        account.credit(5)
+        assert account.balance == 15
+
+    def test_credit_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Account(address="0xu1").credit(-1)
+
+    def test_debit(self):
+        account = Account(address="0xu1", balance=10)
+        account.debit(4)
+        assert account.balance == 6
+
+    def test_debit_overdraft_rejected(self):
+        account = Account(address="0xu1", balance=3)
+        with pytest.raises(InsufficientBalanceError):
+            account.debit(4)
+        assert account.balance == 3  # unchanged on failure
+
+    def test_debit_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Account(address="0xu1", balance=5).debit(-1)
+
+    def test_debit_exact_balance(self):
+        account = Account(address="0xu1", balance=5)
+        account.debit(5)
+        assert account.balance == 0
+
+    def test_bump_nonce(self):
+        account = Account(address="0xu1")
+        account.bump_nonce()
+        account.bump_nonce()
+        assert account.nonce == 2
+
+    def test_snapshot_is_independent(self):
+        account = Account(address="0xu1", balance=10, nonce=3)
+        copy = account.snapshot()
+        copy.credit(5)
+        copy.bump_nonce()
+        assert account.balance == 10
+        assert account.nonce == 3
+        assert copy.balance == 15

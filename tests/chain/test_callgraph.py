@@ -1,0 +1,96 @@
+"""Tests for repro.chain.callgraph — the Fig. 1 sender patterns."""
+
+from repro.chain.callgraph import CallGraph, SenderClass
+from tests.conftest import CONTRACT_A, CONTRACT_B, make_call, make_transfer
+
+
+class TestClassification:
+    def test_unknown_sender(self):
+        assert CallGraph().classify("0xghost") is SenderClass.UNKNOWN
+
+    def test_fig1a_single_contract(self):
+        """User A only sends through contract 1 — shardable."""
+        graph = CallGraph()
+        graph.observe(make_call("0xuA", CONTRACT_A))
+        assert graph.classify("0xuA") is SenderClass.SINGLE_CONTRACT
+        assert graph.is_single_contract("0xuA")
+
+    def test_fig1b_multi_contract(self):
+        """User C invokes contracts 1 and 2 — MaxShard."""
+        graph = CallGraph()
+        graph.observe(make_call("0xuC", CONTRACT_A))
+        graph.observe(make_call("0xuC", CONTRACT_B, nonce=1))
+        assert graph.classify("0xuC") is SenderClass.MULTI_CONTRACT
+        assert not graph.is_single_contract("0xuC")
+
+    def test_fig1c_direct_sender(self):
+        """User F invokes contract 1 AND pays user H directly — MaxShard."""
+        graph = CallGraph()
+        graph.observe(make_call("0xuF", CONTRACT_A))
+        graph.observe(make_transfer("0xuF", "0xuH", nonce=1))
+        assert graph.classify("0xuF") is SenderClass.DIRECT_SENDER
+
+    def test_pure_direct_sender(self):
+        graph = CallGraph()
+        graph.observe(make_transfer("0xuX", "0xuY"))
+        assert graph.classify("0xuX") is SenderClass.DIRECT_SENDER
+
+    def test_repeated_same_contract_stays_single(self):
+        graph = CallGraph()
+        for nonce in range(5):
+            graph.observe(make_call("0xuA", CONTRACT_A, nonce=nonce))
+        assert graph.classify("0xuA") is SenderClass.SINGLE_CONTRACT
+
+
+class TestQueries:
+    def test_contracts_of(self):
+        graph = CallGraph()
+        graph.observe(make_call("0xuC", CONTRACT_A))
+        graph.observe(make_call("0xuC", CONTRACT_B, nonce=1))
+        assert graph.contracts_of("0xuC") == {CONTRACT_A, CONTRACT_B}
+
+    def test_contracts_of_unknown(self):
+        assert CallGraph().contracts_of("0xghost") == set()
+
+    def test_direct_peers_of(self):
+        graph = CallGraph()
+        graph.observe(make_transfer("0xuX", "0xuY"))
+        assert graph.direct_peers_of("0xuX") == {"0xuY"}
+
+    def test_sole_contract_of(self):
+        graph = CallGraph()
+        graph.observe(make_call("0xuA", CONTRACT_A))
+        assert graph.sole_contract_of("0xuA") == CONTRACT_A
+
+    def test_sole_contract_of_multi_is_none(self):
+        graph = CallGraph()
+        graph.observe(make_call("0xuC", CONTRACT_A))
+        graph.observe(make_call("0xuC", CONTRACT_B, nonce=1))
+        assert graph.sole_contract_of("0xuC") is None
+
+    def test_recipient_of_direct_transfer_not_misclassified(self):
+        """The transfer's recipient has not *sent* anything; receiving a
+        direct payment marks her as a direct participant (she now shares
+        state with the sender), matching the MaxShard routing rule."""
+        graph = CallGraph()
+        graph.observe(make_transfer("0xuX", "0xuY"))
+        assert graph.classify("0xuY") is SenderClass.DIRECT_SENDER
+
+
+class TestStatistics:
+    def test_counts(self):
+        graph = CallGraph()
+        graph.observe(make_call("0xuA", CONTRACT_A))
+        graph.observe(make_call("0xuB", CONTRACT_B))
+        graph.observe(make_transfer("0xuX", "0xuY"))
+        assert graph.contract_count() == 2
+        assert graph.user_count() == 4
+
+    def test_histogram(self):
+        graph = CallGraph()
+        graph.observe(make_call("0xuA", CONTRACT_A))
+        graph.observe(make_call("0xuC", CONTRACT_A))
+        graph.observe(make_call("0xuC", CONTRACT_B, nonce=1))
+        histogram = graph.classification_histogram()
+        assert histogram[SenderClass.SINGLE_CONTRACT] == 1
+        assert histogram[SenderClass.MULTI_CONTRACT] == 1

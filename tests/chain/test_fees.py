@@ -1,0 +1,48 @@
+"""Tests for repro.chain.fees."""
+
+import pytest
+
+from repro.chain.block import Block
+from repro.chain.fees import FeePolicy
+from tests.conftest import make_call
+
+
+def block_with(txs):
+    return Block.build(
+        parent_hash=Block.genesis(1).block_hash,
+        miner="pk",
+        shard_id=1,
+        height=1,
+        timestamp=0.0,
+        transactions=txs,
+    )
+
+
+class TestFeePolicy:
+    def test_paper_gas_configuration(self):
+        """0x300000 gas per block holds at most 10 transactions."""
+        policy = FeePolicy()
+        assert policy.gas_limit == 0x300000
+        assert policy.block_capacity == 10
+
+    def test_block_payout_includes_fees(self):
+        policy = FeePolicy(block_reward=100)
+        block = block_with([make_call("0xua", fee=3), make_call("0xub", fee=4)])
+        assert policy.block_payout(block) == 107
+
+    def test_empty_block_still_pays_block_reward(self):
+        """Sec. III-D: 'even if the block does not contain any
+        transactions, that miner can still get the block reward' — the
+        incentive that makes empty blocks rational."""
+        policy = FeePolicy(block_reward=100)
+        assert policy.block_payout(block_with([])) == 100
+
+    def test_merge_payout_respects_constraint(self):
+        policy = FeePolicy(shard_reward=42)
+        assert policy.merge_payout(merged_size=10, lower_bound=10) == 42
+        assert policy.merge_payout(merged_size=9, lower_bound=10) == 0
+
+    def test_invalid_gas_per_tx(self):
+        policy = FeePolicy(gas_per_tx=0)
+        with pytest.raises(ValueError):
+            policy.block_capacity

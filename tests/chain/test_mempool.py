@@ -1,0 +1,109 @@
+"""Tests for repro.chain.mempool."""
+
+import pytest
+
+from repro.chain.mempool import Mempool
+from tests.conftest import make_call
+
+
+class TestBasics:
+    def test_add_and_len(self):
+        pool = Mempool()
+        assert pool.add(make_call("0xua"))
+        assert len(pool) == 1
+
+    def test_add_duplicate_refused(self):
+        pool = Mempool()
+        tx = make_call("0xua")
+        assert pool.add(tx)
+        assert not pool.add(tx)
+        assert len(pool) == 1
+
+    def test_add_many_counts_new(self):
+        pool = Mempool()
+        tx = make_call("0xua")
+        assert pool.add_many([tx, tx, make_call("0xub")]) == 2
+
+    def test_contains(self):
+        pool = Mempool()
+        tx = make_call("0xua")
+        pool.add(tx)
+        assert tx.tx_id in pool
+
+    def test_remove(self):
+        pool = Mempool()
+        tx = make_call("0xua")
+        pool.add(tx)
+        assert pool.remove(tx.tx_id) == tx
+        assert pool.remove(tx.tx_id) is None
+
+    def test_remove_confirmed(self):
+        pool = Mempool()
+        txs = [make_call(f"0xu{i}") for i in range(5)]
+        pool.add_many(txs)
+        confirmed = {txs[0].tx_id, txs[1].tx_id, "not-present"}
+        assert pool.remove_confirmed(confirmed) == 2
+        assert len(pool) == 3
+
+    def test_clear(self):
+        pool = Mempool()
+        pool.add(make_call("0xua"))
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_total_fees(self):
+        pool = Mempool()
+        pool.add_many([make_call("0xua", fee=3), make_call("0xub", fee=4)])
+        assert pool.total_fees() == 7
+
+
+class TestFeeGreedySelection:
+    def test_orders_by_fee_desc(self):
+        pool = Mempool()
+        low = make_call("0xua", fee=1)
+        high = make_call("0xub", fee=9)
+        mid = make_call("0xuc", fee=5)
+        pool.add_many([low, high, mid])
+        assert pool.select_by_fee(3) == [high, mid, low]
+
+    def test_limit_respected(self):
+        pool = Mempool()
+        pool.add_many([make_call(f"0xu{i}", fee=i) for i in range(10)])
+        assert len(pool.select_by_fee(4)) == 4
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Mempool().select_by_fee(-1)
+
+    def test_all_miners_pick_the_same_set(self):
+        """The Sec. II-B pathology: greedy selection is identical across
+        independent mempools holding the same transactions."""
+        txs = [make_call(f"0xu{i}", fee=i % 7) for i in range(20)]
+        pool_a, pool_b = Mempool(), Mempool()
+        pool_a.add_many(txs)
+        pool_b.add_many(list(reversed(txs)))
+        ids_a = [tx.tx_id for tx in pool_a.select_by_fee(10)]
+        ids_b = [tx.tx_id for tx in pool_b.select_by_fee(10)]
+        assert ids_a == ids_b
+
+    def test_selection_does_not_remove(self):
+        pool = Mempool()
+        pool.add(make_call("0xua"))
+        pool.select_by_fee(1)
+        assert len(pool) == 1
+
+
+class TestIdSelection:
+    def test_select_ids_skips_missing(self):
+        pool = Mempool()
+        present = make_call("0xua")
+        pool.add(present)
+        selected = pool.select_ids([present.tx_id, "gone"])
+        assert selected == [present]
+
+    def test_select_ids_preserves_order(self):
+        pool = Mempool()
+        txs = [make_call(f"0xu{i}") for i in range(3)]
+        pool.add_many(txs)
+        ids = [txs[2].tx_id, txs[0].tx_id]
+        assert pool.select_ids(ids) == [txs[2], txs[0]]

@@ -1,0 +1,149 @@
+"""Tests for repro.chain.state."""
+
+import pytest
+
+from repro.chain.contract import SmartContract, TransferCondition
+from repro.chain.state import WorldState
+from repro.errors import (
+    InsufficientBalanceError,
+    NonceError,
+    UnknownAccountError,
+    UnknownContractError,
+    ValidationError,
+)
+from tests.conftest import CONTRACT_A, make_call, make_transfer
+
+
+class TestAccounts:
+    def test_create_account(self, world):
+        assert world.balance_of("0xualice") == 1_000
+
+    def test_create_is_idempotent(self, world):
+        account = world.create_account("0xualice", balance=5)
+        assert account.balance == 1_000  # existing account untouched
+
+    def test_unknown_account_raises(self, world):
+        with pytest.raises(UnknownAccountError):
+            world.account("0xghost")
+
+    def test_unknown_contract_raises(self, world):
+        with pytest.raises(UnknownContractError):
+            world.contract("0xghost")
+
+    def test_balance_of_unknown_is_zero(self, world):
+        assert world.balance_of("0xghost") == 0
+
+
+class TestDirectTransfer:
+    def test_moves_value(self, world):
+        world.apply_transaction(make_transfer("0xualice", "0xubob", amount=10, fee=2))
+        assert world.balance_of("0xualice") == 988
+        assert world.balance_of("0xubob") == 1_010
+
+    def test_bumps_nonce(self, world):
+        world.apply_transaction(make_transfer("0xualice", "0xubob"))
+        assert world.account("0xualice").nonce == 1
+
+    def test_fee_paid_to_miner(self, world):
+        world.apply_transaction(
+            make_transfer("0xualice", "0xubob", fee=7), miner="pk-m"
+        )
+        assert world.balance_of("pk-m") == 7
+
+    def test_creates_recipient_account(self, world):
+        world.apply_transaction(make_transfer("0xualice", "0xunew", amount=3))
+        assert world.balance_of("0xunew") == 3
+
+    def test_supply_conserved_with_miner(self, world):
+        before = world.total_supply()
+        world.apply_transaction(
+            make_transfer("0xualice", "0xubob", amount=10, fee=5), miner="pk-m"
+        )
+        assert world.total_supply() == before
+
+
+class TestContractCall:
+    def test_routes_to_beneficiary(self, world):
+        world.apply_transaction(make_call("0xualice", CONTRACT_A, amount=10))
+        assert world.balance_of("0xudest-a") == 10
+
+    def test_records_invocation(self, world):
+        world.apply_transaction(make_call("0xualice", CONTRACT_A))
+        assert world.contract(CONTRACT_A).invocation_count == 1
+
+    def test_condition_blocks_execution(self, world):
+        conditional = SmartContract(
+            address="0xc" + "f" * 39,
+            beneficiary="0xubob",
+            condition=TransferCondition(
+                kind="balance_below", subject="0xubob", threshold=1
+            ),
+        )
+        world.deploy_contract(conditional)
+        tx = make_call("0xualice", conditional.address)
+        with pytest.raises(ValidationError):
+            world.apply_transaction(tx)
+
+
+class TestValidationFailures:
+    def test_wrong_nonce_rejected(self, world):
+        with pytest.raises(NonceError):
+            world.apply_transaction(make_transfer("0xualice", "0xubob", nonce=5))
+
+    def test_overdraft_rejected(self, world):
+        with pytest.raises(InsufficientBalanceError):
+            world.apply_transaction(
+                make_transfer("0xualice", "0xubob", amount=10_000)
+            )
+
+    def test_fee_counts_toward_cost(self, world):
+        world.account("0xualice").balance = 10
+        with pytest.raises(InsufficientBalanceError):
+            world.apply_transaction(
+                make_transfer("0xualice", "0xubob", amount=8, fee=3)
+            )
+
+    def test_failed_tx_leaves_state_untouched(self, world):
+        try:
+            world.apply_transaction(
+                make_transfer("0xualice", "0xubob", amount=10_000)
+            )
+        except InsufficientBalanceError:
+            pass
+        assert world.balance_of("0xualice") == 1_000
+        assert world.account("0xualice").nonce == 0
+
+    def test_can_apply_mirrors_apply(self, world):
+        good = make_transfer("0xualice", "0xubob")
+        bad = make_transfer("0xualice", "0xubob", nonce=9)
+        assert world.can_apply(good)
+        assert not world.can_apply(bad)
+
+
+class TestBlockBody:
+    def test_sequential_nonces_apply(self, world):
+        txs = (
+            make_transfer("0xualice", "0xubob", nonce=0),
+            make_transfer("0xualice", "0xubob", nonce=1),
+        )
+        rejected = world.apply_block_body(txs, miner="pk-m")
+        assert rejected == []
+        assert world.account("0xualice").nonce == 2
+
+    def test_double_spend_rejected_within_body(self, world):
+        tx = make_transfer("0xualice", "0xubob", nonce=0)
+        rejected = world.apply_block_body((tx, tx), miner="pk-m")
+        assert len(rejected) == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_deep(self, world):
+        snap = world.snapshot()
+        snap.apply_transaction(make_transfer("0xualice", "0xubob", amount=100))
+        assert world.balance_of("0xualice") == 1_000
+        assert snap.balance_of("0xualice") < 1_000
+
+    def test_snapshot_copies_contracts(self, world):
+        snap = world.snapshot()
+        snap.contract(CONTRACT_A).record_invocation()
+        assert world.contract(CONTRACT_A).invocation_count == 0

@@ -1,0 +1,83 @@
+"""Tests for repro.chain.transaction."""
+
+import pytest
+
+from repro.chain.transaction import Transaction, TransactionKind
+from tests.conftest import CONTRACT_A, make_call, make_transfer
+
+
+class TestConstruction:
+    def test_contract_call_requires_contract(self):
+        with pytest.raises(ValueError, match="contract"):
+            Transaction(
+                sender="0xua",
+                recipient="0xub",
+                amount=1,
+                fee=1,
+                kind=TransactionKind.CONTRACT_CALL,
+            )
+
+    def test_direct_transfer_rejects_contract(self):
+        with pytest.raises(ValueError):
+            Transaction(
+                sender="0xua",
+                recipient="0xub",
+                amount=1,
+                fee=1,
+                kind=TransactionKind.DIRECT_TRANSFER,
+                contract=CONTRACT_A,
+            )
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            make_transfer("0xua", "0xub", amount=-1)
+
+    def test_negative_fee_rejected(self):
+        with pytest.raises(ValueError):
+            make_transfer("0xua", "0xub", fee=-1)
+
+    def test_zero_amount_allowed(self):
+        tx = make_transfer("0xua", "0xub", amount=0)
+        assert tx.amount == 0
+
+
+class TestIdentity:
+    def test_tx_ids_are_unique_even_for_identical_fields(self):
+        a = make_call("0xua")
+        b = make_call("0xua")
+        assert a.tx_id != b.tx_id
+
+    def test_tx_id_is_stable(self):
+        tx = make_call("0xua")
+        assert tx.tx_id == tx.tx_id
+
+    def test_short_id_prefix(self):
+        tx = make_call("0xua")
+        assert tx.tx_id.startswith(tx.short_id())
+        assert len(tx.short_id()) == 10
+
+
+class TestViews:
+    def test_input_accounts_default(self):
+        tx = make_transfer("0xua", "0xub")
+        assert tx.input_accounts == ("0xua",)
+
+    def test_input_accounts_with_extras(self):
+        tx = Transaction(
+            sender="0xua",
+            recipient="0xub",
+            amount=1,
+            fee=1,
+            kind=TransactionKind.DIRECT_TRANSFER,
+            extra_inputs=("0xuc", "0xud"),
+        )
+        assert tx.input_accounts == ("0xua", "0xuc", "0xud")
+
+    def test_is_contract_call(self):
+        assert make_call("0xua").is_contract_call
+        assert not make_transfer("0xua", "0xub").is_contract_call
+
+    def test_frozen(self):
+        tx = make_call("0xua")
+        with pytest.raises(AttributeError):
+            tx.fee = 100

@@ -1,0 +1,80 @@
+"""Tests for repro.consensus.difficulty — the retarget controller."""
+
+import pytest
+
+from repro.consensus.difficulty import (
+    RetargetRule,
+    RetargetSimulation,
+)
+from repro.errors import ConfigError
+
+
+class TestRetargetRule:
+    def test_fast_block_raises_difficulty(self):
+        rule = RetargetRule()
+        next_d = rule.next_difficulty(parent_difficulty=2_048_000, block_time=3.0)
+        assert next_d > 2_048_000
+
+    def test_slow_block_lowers_difficulty(self):
+        rule = RetargetRule()
+        next_d = rule.next_difficulty(parent_difficulty=2_048_000, block_time=45.0)
+        assert next_d < 2_048_000
+
+    def test_downward_adjustment_capped(self):
+        rule = RetargetRule(minimum_difficulty=1)
+        d = 2_048_000
+        capped = rule.next_difficulty(d, block_time=1e6)
+        step = d // rule.adjustment_quotient
+        assert capped == d - 99 * step
+
+    def test_minimum_difficulty_floor(self):
+        rule = RetargetRule(minimum_difficulty=100_000)
+        assert rule.next_difficulty(100_500, block_time=1e6) == 100_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetargetRule(adjustment_quotient=0)
+        with pytest.raises(ConfigError):
+            RetargetRule().next_difficulty(0, 1.0)
+        with pytest.raises(ConfigError):
+            RetargetRule().next_difficulty(1, -1.0)
+
+
+class TestRetargetSimulation:
+    def make(self, miners, seed=1):
+        return RetargetSimulation(
+            rule=RetargetRule(minimum_difficulty=1_000),
+            hashrate_per_miner=10_000.0,
+            miners=miners,
+            initial_difficulty=1_000_000,
+            seed=seed,
+        )
+
+    def test_interval_converges_near_bucket(self):
+        """The controller settles with expected intervals around the
+        10-second duration bucket."""
+        steady = self.make(miners=4).steady_state_interval()
+        assert 5.0 < steady < 25.0
+
+    def test_interval_independent_of_miner_count(self):
+        """The Table I justification: steady-state intervals for 2 and 16
+        miners agree, because difficulty absorbs the hash power."""
+        two = self.make(miners=2, seed=2).steady_state_interval()
+        sixteen = self.make(miners=16, seed=3).steady_state_interval()
+        assert sixteen == pytest.approx(two, rel=0.25)
+
+    def test_more_hashpower_means_higher_difficulty_not_faster_blocks(self):
+        sim = self.make(miners=16, seed=4)
+        intervals = sim.run(3_000)
+        early = sum(intervals[:100]) / 100  # pre-adjustment: fast blocks
+        late = sum(intervals[-1_000:]) / 1_000
+        assert late > early  # difficulty caught up
+
+    def test_deterministic_under_seed(self):
+        assert self.make(4, seed=9).run(50) == self.make(4, seed=9).run(50)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetargetSimulation(RetargetRule(), 0.0, 1, 100)
+        with pytest.raises(ConfigError):
+            self.make(1).run(0)

@@ -1,0 +1,67 @@
+"""Tests for repro.consensus.pow."""
+
+import statistics
+
+import pytest
+
+from repro.consensus.pow import MiningProcess, PoWParameters, REFERENCE_HASHRATE
+
+
+class TestPoWParameters:
+    def test_anchor_calibration(self):
+        """Difficulty 0x40000 = one block per minute (the paper's anchor)."""
+        params = PoWParameters.one_block_per_minute()
+        assert params.expected_interval() == pytest.approx(60.0)
+
+    def test_fast_confirmation_calibration(self):
+        """Sec. VI-B2: 76 tx/s with 10-tx blocks."""
+        params = PoWParameters.fast_confirmation(tx_per_second=76.0)
+        interval = params.expected_interval()
+        assert interval * 76.0 == pytest.approx(10.0, rel=0.02)
+
+    def test_more_hashpower_faster_blocks(self):
+        params = PoWParameters.one_block_per_minute()
+        assert params.expected_interval(2.0) == pytest.approx(30.0)
+
+    def test_invalid_difficulty(self):
+        with pytest.raises(ValueError):
+            PoWParameters(difficulty=0)
+
+    def test_invalid_hashrate_fraction(self):
+        with pytest.raises(ValueError):
+            PoWParameters().expected_interval(0.0)
+
+    def test_invalid_tx_rate(self):
+        with pytest.raises(ValueError):
+            PoWParameters.fast_confirmation(tx_per_second=0)
+
+
+class TestMiningProcess:
+    def test_samples_positive(self):
+        process = MiningProcess(PoWParameters.one_block_per_minute(), seed=1)
+        assert all(process.next_block_time() > 0 for __ in range(100))
+
+    def test_mean_matches_expectation(self):
+        process = MiningProcess(PoWParameters.one_block_per_minute(), seed=2)
+        samples = [process.next_block_time() for __ in range(5_000)]
+        assert statistics.mean(samples) == pytest.approx(60.0, rel=0.1)
+
+    def test_seed_reproducibility(self):
+        a = MiningProcess(PoWParameters(), seed=7)
+        b = MiningProcess(PoWParameters(), seed=7)
+        assert [a.next_block_time() for __ in range(5)] == [
+            b.next_block_time() for __ in range(5)
+        ]
+
+    def test_retarget(self):
+        process = MiningProcess(PoWParameters.one_block_per_minute(), seed=3)
+        process.retarget(2.0)
+        assert process.expected_interval == pytest.approx(30.0)
+
+    def test_retarget_rejects_zero(self):
+        process = MiningProcess(PoWParameters(), seed=4)
+        with pytest.raises(ValueError):
+            process.retarget(0.0)
+
+    def test_reference_hashrate_consistency(self):
+        assert REFERENCE_HASHRATE * 60.0 == pytest.approx(0x40000)

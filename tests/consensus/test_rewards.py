@@ -1,0 +1,67 @@
+"""Tests for repro.consensus.rewards."""
+
+from repro.chain.block import Block
+from repro.chain.fees import FeePolicy
+from repro.consensus.rewards import RewardLedger
+from tests.conftest import make_call
+
+
+def block_for(miner, txs=()):
+    return Block.build(
+        parent_hash=Block.genesis(1).block_hash,
+        miner=miner,
+        shard_id=1,
+        height=1,
+        timestamp=0.0,
+        transactions=list(txs),
+    )
+
+
+class TestRewardLedger:
+    def test_credit_block(self):
+        ledger = RewardLedger(policy=FeePolicy(block_reward=100))
+        ledger.credit_block(block_for("pk-a", [make_call("0xua", fee=5)]))
+        assert ledger.block_rewards["pk-a"] == 100
+        assert ledger.fee_income["pk-a"] == 5
+        assert ledger.total_income("pk-a") == 105
+
+    def test_empty_block_counts(self):
+        ledger = RewardLedger()
+        ledger.credit_block(block_for("pk-a"))
+        assert ledger.empty_blocks_mined["pk-a"] == 1
+        assert ledger.wasted_power_fraction("pk-a") == 1.0
+
+    def test_shard_reward(self):
+        ledger = RewardLedger(policy=FeePolicy(shard_reward=42))
+        ledger.credit_shard_reward("pk-a")
+        assert ledger.shard_rewards["pk-a"] == 42
+        assert ledger.total_income("pk-a") == 42
+
+    def test_wasted_power_fraction(self):
+        ledger = RewardLedger()
+        ledger.credit_block(block_for("pk-a"))
+        ledger.credit_block(block_for("pk-a", [make_call("0xua")]))
+        assert ledger.wasted_power_fraction("pk-a") == 0.5
+
+    def test_wasted_power_of_unknown_miner(self):
+        assert RewardLedger().wasted_power_fraction("pk-ghost") == 0.0
+
+    def test_system_empty_fraction(self):
+        ledger = RewardLedger()
+        ledger.credit_block(block_for("pk-a"))
+        ledger.credit_block(block_for("pk-b", [make_call("0xua")]))
+        assert ledger.system_empty_fraction() == 0.5
+
+    def test_system_empty_fraction_no_blocks(self):
+        assert RewardLedger().system_empty_fraction() == 0.0
+
+    def test_merging_incentive_dominates_empty_mining(self):
+        """The Sec. IV-A economics: a merged miner validating real
+        transactions earns more than an empty-block loner once the shard
+        reward lands."""
+        policy = FeePolicy(block_reward=10, shard_reward=50)
+        loner, merged = RewardLedger(policy=policy), RewardLedger(policy=policy)
+        loner.credit_block(block_for("pk-l"))  # empty block
+        merged.credit_block(block_for("pk-m", [make_call("0xua", fee=5)]))
+        merged.credit_shard_reward("pk-m")
+        assert merged.total_income("pk-m") > loner.total_income("pk-l")

@@ -1,0 +1,118 @@
+"""Tests for repro.core.epoch — the full dynamic epoch cycle."""
+
+import pytest
+
+from repro.consensus.miner import MinerIdentity
+from repro.core.epoch import EpochConfig, EpochManager
+from repro.core.merging.game import MergingGameConfig
+from repro.core.shard_formation import MAXSHARD_ID
+from repro.errors import ShardingError
+from repro.sim.config import SimulationConfig, TimingModel
+from repro.sim.simulator import ShardedSimulation
+from repro.workloads.generators import (
+    small_shard_workload,
+    uniform_contract_workload,
+)
+
+FAST = TimingModel.low_variance(interval=1.0, shape=48.0)
+
+
+@pytest.fixture(scope="module")
+def manager():
+    miners = [MinerIdentity.create(f"epoch-{i}") for i in range(24)]
+    return EpochManager(miners)
+
+
+@pytest.fixture(scope="module")
+def plan(manager):
+    txs = uniform_contract_workload(total_txs=120, contract_shards=3, seed=1)
+    return manager.run_epoch(0, txs)
+
+
+class TestEpochPlan:
+    def test_every_miner_has_effective_shard(self, plan):
+        for public in plan.assignment.shard_of:
+            assert plan.shard_of_miner(public) in plan.partition.by_shard
+
+    def test_membership_verification(self, plan):
+        for public in plan.assignment.shard_of:
+            assert plan.verify_miner(public, plan.shard_of_miner(public))
+            assert not plan.verify_miner(public, 987)
+
+    def test_stranger_rejected(self, plan):
+        assert not plan.verify_miner("pk-stranger", 0)
+
+    def test_specs_cover_workload(self, plan):
+        specs = plan.to_specs()
+        covered = sum(len(spec.transactions) for spec in specs)
+        assert covered == plan.partition.total_transactions
+
+    def test_specs_simulate(self, plan):
+        specs = plan.to_specs()
+        result = ShardedSimulation(
+            specs, SimulationConfig(timing=FAST, seed=2)
+        ).run()
+        assert result.all_confirmed
+
+    def test_selection_runs_in_multi_miner_shards(self, plan):
+        multi_miner_inputs = {
+            s.shard_id for s in plan.packet.selection_inputs
+        }
+        for shard_id in multi_miner_inputs:
+            assert len(plan.assignment.members_of(shard_id)) >= 2
+
+    def test_assigned_ids_belong_to_miner_shard(self, plan):
+        by_shard_ids = {
+            shard: {tx.tx_id for tx in txs}
+            for shard, txs in plan.partition.by_shard.items()
+        }
+        for public, shard in plan.assignment.shard_of.items():
+            for tx_id in plan.assigned_tx_ids(public):
+                assert tx_id in by_shard_ids[shard]
+
+
+class TestEpochDynamics:
+    def test_epochs_reshuffle_miners(self, manager):
+        txs = uniform_contract_workload(total_txs=120, contract_shards=3, seed=4)
+        plan_a = manager.run_epoch(10, txs)
+        plan_b = manager.run_epoch(11, txs)
+        assert plan_a.randomness != plan_b.randomness
+        assert plan_a.assignment.shard_of != plan_b.assignment.shard_of
+
+    def test_small_shards_merge_in_plan(self):
+        miners = [MinerIdentity.create(f"merge-epoch-{i}") for i in range(40)]
+        config = EpochConfig(
+            merge_config=MergingGameConfig(
+                shard_reward=10.0, lower_bound=10, subslots=16
+            )
+        )
+        manager = EpochManager(miners, config)
+        txs, __ = small_shard_workload(
+            total_txs=150, shard_count=8, small_shard_sizes=[3, 4, 5, 4], seed=5
+        )
+        plan = manager.run_epoch(0, txs)
+        merged_map = plan.replay.merged_shard_map
+        # At least one small shard collapsed into another.
+        assert any(old != new for old, new in merged_map.items())
+        # And the plan still simulates to full confirmation.
+        result = ShardedSimulation(
+            plan.to_specs(), SimulationConfig(timing=FAST, seed=6)
+        ).run()
+        assert result.all_confirmed
+
+    def test_deterministic_replay_across_managers(self):
+        """Two independent nodes with the same view derive the same plan."""
+        miners = [MinerIdentity.create(f"det-{i}") for i in range(12)]
+        txs = uniform_contract_workload(total_txs=60, contract_shards=2, seed=7)
+        plan_x = EpochManager(miners).run_epoch(3, txs)
+        plan_y = EpochManager(miners).run_epoch(3, txs)
+        assert plan_x.randomness == plan_y.randomness
+        assert plan_x.assignment.shard_of == plan_y.assignment.shard_of
+        assert plan_x.packet.digest() == plan_y.packet.digest()
+        assert plan_x.replay.merged_shard_map == plan_y.replay.merged_shard_map
+
+    def test_validation(self, manager):
+        with pytest.raises(ShardingError):
+            EpochManager([])
+        with pytest.raises(ShardingError):
+            manager.run_epoch(0, [])

@@ -1,0 +1,92 @@
+"""Tests for repro.core.merging.equilibrium."""
+
+import pytest
+
+from repro.core.merging.equilibrium import (
+    best_pure_deviation,
+    enumerate_pure_nash,
+    expected_payoffs,
+    is_pure_nash,
+)
+from repro.core.merging.game import MergingGameConfig, ShardPlayer
+from repro.errors import MergingError
+
+CONFIG = MergingGameConfig(shard_reward=10.0, lower_bound=10)
+
+
+def players_of(sizes, cost=2.0):
+    return [ShardPlayer(i, s, cost) for i, s in enumerate(sizes, start=1)]
+
+
+class TestExpectedPayoffs:
+    def test_satisfied_profile(self):
+        players = players_of([6, 6, 6])
+        payoffs = expected_payoffs(players, [True, True, False], CONFIG)
+        assert payoffs == [8.0, 8.0, 10.0]  # mergers pay C, stayer free-rides
+
+    def test_unsatisfied_profile(self):
+        players = players_of([3, 3, 3])
+        payoffs = expected_payoffs(players, [True, True, False], CONFIG)
+        assert payoffs == [-2.0, -2.0, 0.0]
+
+    def test_nobody_merges(self):
+        players = players_of([20, 20])
+        payoffs = expected_payoffs(players, [False, False], CONFIG)
+        assert payoffs == [0.0, 0.0]  # Eq. (9): m = 0 pays nothing
+
+    def test_profile_length_checked(self):
+        with pytest.raises(MergingError):
+            expected_payoffs(players_of([5]), [True, False], CONFIG)
+
+
+class TestNashPredicates:
+    def test_pivotal_coalition_is_nash(self):
+        """Two size-6 players merging (12 >= 10, each pivotal) is stable:
+        neither merger can leave without losing G, and the stayer
+        free-rides."""
+        players = players_of([6, 6, 3])
+        assert is_pure_nash(players, [True, True, False], CONFIG)
+
+    def test_oversubscribed_profile_is_not_nash(self):
+        """If the merged set satisfies (1) even without one member, that
+        member prefers to stay and free-ride."""
+        players = players_of([6, 6, 6])
+        profile = [True, True, True]  # 18 >= 10 without any single member
+        assert not is_pure_nash(players, profile, CONFIG)
+        deviator, gain = best_pure_deviation(players, profile, CONFIG)
+        assert gain == pytest.approx(2.0)  # saves her cost C
+
+    def test_doomed_merging_is_not_nash(self):
+        """Merging while the bound is unreachable burns C for nothing."""
+        players = players_of([3, 3])
+        assert not is_pure_nash(players, [True, True], CONFIG)
+
+    def test_all_staying_is_nash_when_no_single_player_suffices(self):
+        """With everyone staying, a unilateral merger cannot reach L
+        alone, so she would pay C for nothing: all-stay is an equilibrium
+        (the bad one the shard reward is designed to escape via mixing)."""
+        players = players_of([6, 6])
+        assert is_pure_nash(players, [False, False], CONFIG)
+
+    def test_lone_sufficient_merger_breaks_all_stay(self):
+        """A single player holding >= L transactions gains by merging."""
+        players = players_of([12, 3])
+        assert not is_pure_nash(players, [False, False], CONFIG)
+
+
+class TestEnumeration:
+    def test_enumerates_known_equilibria(self):
+        players = players_of([6, 6])
+        equilibria = enumerate_pure_nash(players, CONFIG)
+        assert [True, True] in equilibria
+        assert [False, False] in equilibria
+        assert [True, False] not in equilibria
+
+    def test_guard_on_large_games(self):
+        with pytest.raises(MergingError):
+            enumerate_pure_nash(players_of([1] * 17), CONFIG)
+
+    def test_every_enumerated_profile_verifies(self):
+        players = players_of([4, 7, 5, 6])
+        for profile in enumerate_pure_nash(players, CONFIG):
+            assert is_pure_nash(players, profile, CONFIG)

@@ -1,0 +1,164 @@
+"""Tests for repro.core.merging.analysis — exact Sec. V equilibrium math."""
+
+import numpy as np
+import pytest
+
+from repro.core.merging.analysis import (
+    exact_expected_utilities,
+    is_mixed_equilibrium,
+    merged_size_distribution,
+    pivotal_probability,
+    replicator_field,
+    success_probability,
+    symmetric_mixed_equilibrium,
+)
+from repro.core.merging.game import MergingGameConfig, ShardPlayer
+from repro.errors import MergingError
+
+CONFIG = MergingGameConfig(shard_reward=10.0, lower_bound=10)
+
+
+def players_of(sizes, cost=2.0):
+    return [ShardPlayer(i, s, cost) for i, s in enumerate(sizes, start=1)]
+
+
+class TestSizeDistribution:
+    def test_pmf_sums_to_one(self):
+        pmf = merged_size_distribution(players_of([3, 5, 7]), [0.3, 0.6, 0.9])
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_two_player_exact(self):
+        pmf = merged_size_distribution(players_of([2, 3]), [0.5, 0.5])
+        assert pmf[0] == pytest.approx(0.25)  # nobody merges
+        assert pmf[2] == pytest.approx(0.25)
+        assert pmf[3] == pytest.approx(0.25)
+        assert pmf[5] == pytest.approx(0.25)
+
+    def test_exclude_removes_player(self):
+        pmf = merged_size_distribution(players_of([2, 3]), [1.0, 1.0], exclude=0)
+        assert len(pmf) == 4  # only size-3 player remains
+        assert pmf[3] == pytest.approx(1.0)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(1)
+        players = players_of([2, 4, 6, 3])
+        x = [0.2, 0.5, 0.7, 0.9]
+        sizes = np.array([p.size for p in players])
+        samples = (rng.random((40_000, 4)) < x) @ sizes
+        empirical = np.mean(samples >= 10)
+        exact = success_probability(players, x, lower_bound=10)
+        assert exact == pytest.approx(empirical, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(MergingError):
+            merged_size_distribution(players_of([1]), [0.5, 0.5])
+        with pytest.raises(MergingError):
+            merged_size_distribution(players_of([1]), [1.5])
+
+
+class TestPivotal:
+    def test_pivotal_when_exactly_needed(self):
+        # Other player merges with certainty at size 6; L=10; c_i = 5:
+        # S_{-i} = 6 always, so i is pivotal with probability 1.
+        players = players_of([5, 6])
+        assert pivotal_probability(players, [0.5, 1.0], CONFIG, 0) == pytest.approx(1.0)
+
+    def test_not_pivotal_when_bound_already_met(self):
+        players = players_of([5, 12])
+        assert pivotal_probability(players, [0.5, 1.0], CONFIG, 0) == pytest.approx(0.0)
+
+    def test_not_pivotal_when_bound_unreachable(self):
+        players = players_of([2, 3])
+        assert pivotal_probability(players, [0.5, 0.5], CONFIG, 0) == pytest.approx(0.0)
+
+
+class TestUtilitiesAndField:
+    def test_merge_minus_stay_is_pivotal_term(self):
+        players = players_of([4, 5, 6], cost=2.0)
+        x = [0.4, 0.5, 0.6]
+        merge_u, stay_u = exact_expected_utilities(players, x, CONFIG)
+        for i in range(3):
+            expected = (
+                CONFIG.shard_reward * pivotal_probability(players, x, CONFIG, i)
+                - players[i].cost
+            )
+            assert merge_u[i] - stay_u[i] == pytest.approx(expected)
+
+    def test_field_zero_at_corners(self):
+        players = players_of([6, 6])
+        field = replicator_field(players, [0.0, 1.0], CONFIG)
+        assert field == pytest.approx([0.0, 0.0])
+
+    def test_field_sign_matches_advantage(self):
+        # Pivotal players are pulled toward merging when G*pivotal > C.
+        players = players_of([6, 6], cost=1.0)
+        field = replicator_field(players, [0.5, 0.5], CONFIG)
+        assert np.all(field > 0)
+
+    def test_field_negative_when_cost_dominates(self):
+        players = players_of([2, 3], cost=5.0)  # bound unreachable
+        field = replicator_field(players, [0.5, 0.5], CONFIG)
+        assert np.all(field < 0)
+
+
+class TestEquilibria:
+    def test_corner_equilibrium_all_stay(self):
+        players = players_of([6, 6], cost=2.0)
+        # With x=(0,0) nobody is pivotal (S_{-i}=0 < L - c_i? L-c=4 > 0):
+        # merging alone gives 6 < 10, so advantage = -C < 0: corner holds.
+        assert is_mixed_equilibrium(players, [0.0, 0.0], CONFIG)
+
+    def test_corner_equilibrium_pair_merges(self):
+        players = players_of([6, 6], cost=2.0)
+        assert is_mixed_equilibrium(players, [1.0, 1.0], CONFIG)
+
+    def test_non_equilibrium_detected(self):
+        players = players_of([12, 3], cost=2.0)
+        # Player 1 alone satisfies L: she strictly gains by merging.
+        assert not is_mixed_equilibrium(players, [0.0, 0.0], CONFIG)
+
+    def test_interior_symmetric_equilibrium_is_indifferent(self):
+        config = MergingGameConfig(shard_reward=10.0, lower_bound=10)
+        x_star = symmetric_mixed_equilibrium(
+            player_count=5, size=4, config=config, cost=3.0
+        )
+        assert x_star is not None
+        players = players_of([4] * 5, cost=3.0)
+        assert is_mixed_equilibrium(
+            players, [x_star] * 5, config, tolerance=1e-4
+        )
+
+    def test_no_interior_root_when_cost_exceeds_reward_reach(self):
+        # Cost above the max possible pivotal gain: no interior root.
+        config = MergingGameConfig(shard_reward=10.0, lower_bound=10)
+        x_star = symmetric_mixed_equilibrium(
+            player_count=2, size=2, config=config, cost=9.9
+        )
+        assert x_star is None
+
+    def test_single_player_has_no_mixed_equilibrium(self):
+        assert symmetric_mixed_equilibrium(1, 5, CONFIG, cost=1.0) is None
+
+
+class TestDynamicsMatchAnalysis:
+    def test_converged_dynamics_land_near_an_equilibrium(self):
+        """Algorithm 3's output satisfies the Sec. V conditions up to the
+        exploration clamp: advantage signs agree with the corner each
+        probability collapsed to."""
+        from repro.core.merging.algorithm import OneTimeMerge
+        from repro.core.merging.analysis import exact_expected_utilities
+
+        config = MergingGameConfig(
+            shard_reward=10.0, lower_bound=10, subslots=32, max_slots=300
+        )
+        players = players_of([6, 6, 6], cost=2.0)
+        outcome = OneTimeMerge(config, seed=5).run(players)
+        x = np.asarray(outcome.probabilities)
+        merge_u, stay_u = exact_expected_utilities(players, list(x), config)
+        advantage = merge_u - stay_u
+        floor = config.probability_floor
+        for xi, adv in zip(x, advantage):
+            if xi <= floor + 1e-9:  # collapsed to "stay"
+                assert adv < 0.5
+            elif xi >= 1 - floor - 1e-9:  # collapsed to "merge"
+                assert adv > -0.5

@@ -1,0 +1,131 @@
+"""Tests for repro.core.merging.game — Eq. (8)-(14) primitives."""
+
+import pytest
+
+from repro.core.merging.game import (
+    MergingGameConfig,
+    PayoffSamples,
+    ShardPlayer,
+    constraint_satisfied,
+    merge_utility,
+    realized_utility,
+    replicator_update,
+    stay_utility,
+)
+from repro.errors import MergingError
+
+
+class TestShardPlayer:
+    def test_valid(self):
+        player = ShardPlayer(shard_id=1, size=5, cost=2.0)
+        assert player.size == 5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(MergingError):
+            ShardPlayer(shard_id=1, size=-1, cost=1.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(MergingError):
+            ShardPlayer(shard_id=1, size=1, cost=-1.0)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        MergingGameConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shard_reward": 0.0},
+            {"lower_bound": 0},
+            {"step_size": 0.0},
+            {"step_size": 1.5},
+            {"subslots": 0},
+            {"max_slots": 0},
+            {"probability_floor": 0.0},
+            {"probability_floor": 0.6},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(MergingError):
+            MergingGameConfig(**kwargs)
+
+
+class TestUtilities:
+    """The Eq. (14) table."""
+
+    def test_merge_satisfied(self):
+        assert merge_utility(True, shard_reward=10.0, cost=3.0) == 7.0
+
+    def test_merge_unsatisfied(self):
+        assert merge_utility(False, shard_reward=10.0, cost=3.0) == -3.0
+
+    def test_stay_satisfied(self):
+        assert stay_utility(True, shard_reward=10.0) == 10.0
+
+    def test_stay_unsatisfied(self):
+        assert stay_utility(False, shard_reward=10.0) == 0.0
+
+    def test_realized_utility_matches_table(self):
+        G, C = 10.0, 3.0
+        assert realized_utility(True, True, G, C) == G - C
+        assert realized_utility(True, False, G, C) == -C
+        assert realized_utility(False, True, G, C) == G
+        assert realized_utility(False, False, G, C) == 0.0
+
+    def test_free_riding_dominates_when_satisfied(self):
+        """The core tension: staying pays more than merging whenever the
+        constraint is satisfied anyway — the reason a mixed equilibrium
+        exists at all."""
+        assert stay_utility(True, 10.0) > merge_utility(True, 10.0, 2.0)
+
+    def test_constraint(self):
+        assert constraint_satisfied(10, 10)
+        assert not constraint_satisfied(9, 10)
+
+
+class TestPayoffSamples:
+    def test_eq12_merge_average(self):
+        samples = PayoffSamples()
+        samples.record(merged=True, payoff=8.0)
+        samples.record(merged=False, payoff=10.0)
+        samples.record(merged=True, payoff=6.0)
+        assert samples.average_merge_payoff(fallback=0.0) == 7.0
+
+    def test_eq12_fallback_without_merges(self):
+        samples = PayoffSamples()
+        samples.record(merged=False, payoff=10.0)
+        assert samples.average_merge_payoff(fallback=3.5) == 3.5
+
+    def test_eq13_overall_average(self):
+        samples = PayoffSamples()
+        samples.record(merged=True, payoff=8.0)
+        samples.record(merged=False, payoff=10.0)
+        assert samples.average_payoff() == 9.0
+
+    def test_eq13_empty(self):
+        assert PayoffSamples().average_payoff() == 0.0
+
+
+class TestReplicatorUpdate:
+    def test_positive_advantage_grows_probability(self):
+        updated = replicator_update(0.5, 8.0, 5.0, step_size=0.1, floor=0.01)
+        assert updated > 0.5
+
+    def test_negative_advantage_shrinks_probability(self):
+        updated = replicator_update(0.5, 2.0, 5.0, step_size=0.1, floor=0.01)
+        assert updated < 0.5
+
+    def test_indifference_is_fixed_point(self):
+        assert replicator_update(0.4, 5.0, 5.0, 0.1, 0.01) == pytest.approx(0.4)
+
+    def test_clamped_to_floor_and_ceiling(self):
+        low = replicator_update(0.05, -100.0, 100.0, 1.0, floor=0.02)
+        high = replicator_update(0.95, 100.0, -100.0, 1.0, floor=0.02)
+        assert low == 0.02
+        assert high == 0.98
+
+    def test_update_magnitude_scales_with_step(self):
+        small = replicator_update(0.5, 8.0, 5.0, 0.01, 0.001)
+        large = replicator_update(0.5, 8.0, 5.0, 0.5, 0.001)
+        assert abs(large - 0.5) > abs(small - 0.5)

@@ -1,0 +1,136 @@
+"""Tests for repro.core.miner_assignment (Sec. III-B)."""
+
+import pytest
+
+from repro.consensus.miner import MinerIdentity
+from repro.core.miner_assignment import (
+    assign_miners,
+    draw_shard,
+    verify_membership,
+)
+from repro.errors import ShardAssignmentError
+
+
+FRACTIONS = {0: 30.0, 1: 40.0, 2: 30.0}
+
+
+def make_miners(n):
+    return [MinerIdentity.create(f"assign-{i}") for i in range(n)]
+
+
+class TestDrawShard:
+    def test_deterministic(self):
+        assert draw_shard("pk", "rand", FRACTIONS) == draw_shard(
+            "pk", "rand", FRACTIONS
+        )
+
+    def test_lands_in_known_shard(self):
+        for i in range(100):
+            assert draw_shard(f"pk{i}", "rand", FRACTIONS) in FRACTIONS
+
+    def test_proportionality(self):
+        """Miner counts track transaction fractions (the paper's revision
+        of Omniledger: MaxShard gets more miners when it has more txs)."""
+        fractions = {0: 80.0, 1: 20.0}
+        draws = [draw_shard(f"pk{i}", "rand", fractions) for i in range(3_000)]
+        share_of_zero = draws.count(0) / len(draws)
+        assert 0.75 < share_of_zero < 0.85
+
+    def test_unnormalized_fractions_accepted(self):
+        fractions = {0: 3.0, 1: 1.0}  # sums to 4, not 100
+        draws = [draw_shard(f"pk{i}", "r", fractions) for i in range(2_000)]
+        assert 0.70 < draws.count(0) / len(draws) < 0.80
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ShardAssignmentError):
+            draw_shard("pk", "rand", {0: 0.0, 1: 0.0})
+
+    def test_randomness_shuffles_assignment(self):
+        a = [draw_shard(f"pk{i}", "ra", FRACTIONS) for i in range(50)]
+        b = [draw_shard(f"pk{i}", "rb", FRACTIONS) for i in range(50)]
+        assert a != b
+
+
+class TestVerifyMembership:
+    def test_honest_claim_verifies(self):
+        shard = draw_shard("pk", "rand", FRACTIONS)
+        assert verify_membership("pk", shard, "rand", FRACTIONS)
+
+    def test_false_claim_fails(self):
+        shard = draw_shard("pk", "rand", FRACTIONS)
+        wrong = (shard + 1) % len(FRACTIONS)
+        assert not verify_membership("pk", wrong, "rand", FRACTIONS)
+
+    def test_bad_fractions_fail_closed(self):
+        assert not verify_membership("pk", 0, "rand", {0: 0.0})
+
+
+class TestAssignMiners:
+    def test_every_miner_assigned(self):
+        miners = make_miners(20)
+        assignment = assign_miners(miners, FRACTIONS, epoch_seed="e1")
+        assert set(assignment.shard_of) == {m.public for m in miners}
+
+    def test_leader_is_a_member(self):
+        miners = make_miners(10)
+        assignment = assign_miners(miners, FRACTIONS, epoch_seed="e1")
+        assert assignment.leader_public in {m.public for m in miners}
+
+    def test_assignment_replayable(self):
+        miners = make_miners(10)
+        a = assign_miners(miners, FRACTIONS, epoch_seed="e1")
+        b = assign_miners(miners, FRACTIONS, epoch_seed="e1")
+        assert a.shard_of == b.shard_of
+        assert a.randomness == b.randomness
+
+    def test_epochs_reshuffle(self):
+        miners = make_miners(30)
+        a = assign_miners(miners, FRACTIONS, epoch_seed="e1")
+        b = assign_miners(miners, FRACTIONS, epoch_seed="e2")
+        assert a.shard_of != b.shard_of
+
+    def test_verifier_closure(self):
+        miners = make_miners(10)
+        assignment = assign_miners(miners, FRACTIONS, epoch_seed="e1")
+        verify = assignment.verifier()
+        public = miners[0].public
+        true_shard = assignment.shard_of[public]
+        assert verify(public, true_shard)
+        assert not verify(public, true_shard + 1)
+
+    def test_members_of(self):
+        miners = make_miners(30)
+        assignment = assign_miners(miners, FRACTIONS, epoch_seed="e1")
+        total = sum(len(assignment.members_of(s)) for s in FRACTIONS)
+        assert total == 30
+
+    def test_shard_sizes(self):
+        miners = make_miners(30)
+        assignment = assign_miners(miners, FRACTIONS, epoch_seed="e1")
+        sizes = assignment.shard_sizes()
+        assert sum(sizes.values()) == 30
+
+    def test_explicit_randomness_respected(self):
+        miners = make_miners(5)
+        assignment = assign_miners(
+            miners, FRACTIONS, epoch_seed="e1", randomness="beacon-value"
+        )
+        assert assignment.randomness == "beacon-value"
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ShardAssignmentError):
+            assign_miners([], FRACTIONS, epoch_seed="e")
+        with pytest.raises(ShardAssignmentError):
+            assign_miners(make_miners(1), {}, epoch_seed="e")
+
+    def test_malicious_concentration_impossible(self):
+        """A miner cannot pick her shard: the draw is fixed by public
+        data, so claiming any other shard is detectable by everyone."""
+        miners = make_miners(50)
+        assignment = assign_miners(miners, FRACTIONS, epoch_seed="e1")
+        verify = assignment.verifier()
+        for miner in miners:
+            true_shard = assignment.shard_of[miner.public]
+            for shard in FRACTIONS:
+                if shard != true_shard:
+                    assert not verify(miner.public, shard)

@@ -1,0 +1,97 @@
+"""Tests for repro.core.serialization — the packet wire format."""
+
+import pytest
+
+from repro.core.merging.game import MergingGameConfig, ShardPlayer
+from repro.core.selection.congestion_game import SelectionGameConfig
+from repro.core.serialization import (
+    packet_from_dict,
+    packet_from_json,
+    packet_to_dict,
+    packet_to_json,
+)
+from repro.core.unification import (
+    ShardSelectionInput,
+    UnificationPacket,
+    UnifiedReplay,
+)
+from repro.errors import UnificationError
+
+
+def full_packet() -> UnificationPacket:
+    return UnificationPacket(
+        epoch_seed="epoch-9",
+        leader_public="pk-leader",
+        randomness="r" * 64,
+        merge_players=(ShardPlayer(1, 5, 2.0), ShardPlayer(2, 7, 3.0)),
+        merge_config=MergingGameConfig(shard_reward=10.0, lower_bound=10),
+        merge_initial=(0.4, 0.6),
+        selection_inputs=(
+            ShardSelectionInput(
+                shard_id=3,
+                tx_ids=("t1", "t2", "t3"),
+                fees=(1.0, 2.0, 3.0),
+                miners=("pk-a", "pk-b"),
+                initial_profile=((0,), (1,)),
+            ),
+        ),
+        selection_config=SelectionGameConfig(capacity=2),
+    )
+
+
+def minimal_packet() -> UnificationPacket:
+    return UnificationPacket(
+        epoch_seed="e", leader_public="pk", randomness="x" * 64
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [full_packet, minimal_packet])
+    def test_dict_round_trip(self, factory):
+        packet = factory()
+        assert packet_from_dict(packet_to_dict(packet)) == packet
+
+    @pytest.mark.parametrize("factory", [full_packet, minimal_packet])
+    def test_json_round_trip_preserves_digest(self, factory):
+        packet = factory()
+        decoded = packet_from_json(packet_to_json(packet))
+        assert decoded.digest() == packet.digest()
+
+    def test_json_is_canonical(self):
+        a = packet_to_json(full_packet())
+        b = packet_to_json(full_packet())
+        assert a == b
+
+    def test_replay_from_decoded_packet_matches(self):
+        """The receiver's replay of a transmitted packet equals the
+        sender's local replay — the wire format preserves unification."""
+        packet = full_packet()
+        local = UnifiedReplay(packet)
+        remote = UnifiedReplay(packet_from_json(packet_to_json(packet)))
+        assert local.merged_shard_map == remote.merged_shard_map
+        assert local.assigned_tx_ids(3, "pk-a") == remote.assigned_tx_ids(3, "pk-a")
+
+
+class TestTampering:
+    def test_tampered_json_changes_digest(self):
+        packet = full_packet()
+        text = packet_to_json(packet).replace('"pk-leader"', '"pk-evil"')
+        assert packet_from_json(text).digest() != packet.digest()
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(UnificationError, match="not valid JSON"):
+            packet_from_json("{nope")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(UnificationError, match="object"):
+            packet_from_json("[1,2,3]")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(UnificationError, match="malformed"):
+            packet_from_dict({"epoch_seed": "e"})
+
+    def test_invalid_config_values_surface(self):
+        data = packet_to_dict(full_packet())
+        data["merge_config"]["lower_bound"] = 0  # violates game invariants
+        with pytest.raises(Exception):
+            packet_from_dict(data)

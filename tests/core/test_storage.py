@@ -1,0 +1,91 @@
+"""Tests for repro.core.storage."""
+
+import pytest
+
+from repro.core.shard_formation import MAXSHARD_ID, partition_transactions
+from repro.core.storage import (
+    QueryCostReport,
+    classification_query_cost,
+    storage_profile,
+)
+from repro.errors import ShardingError
+from repro.workloads.generators import uniform_contract_workload
+
+
+@pytest.fixture
+def partition():
+    txs = uniform_contract_workload(total_txs=90, contract_shards=8, seed=1)
+    return partition_transactions(txs)
+
+
+class TestStorageProfile:
+    def test_full_replication_equals_total(self, partition):
+        layout = {shard: 1 for shard in partition.by_shard}
+        report = storage_profile(partition, layout)
+        assert report.per_miner_full_replication == 90
+        assert report.per_miner_ethereum == 90
+
+    def test_contract_sharding_reduces_per_miner_storage(self, partition):
+        """The Sec. VII claim: non-MaxShard miners store only a slice."""
+        layout = {shard: 1 for shard in partition.by_shard}
+        report = storage_profile(partition, layout)
+        assert report.per_miner_contract_sharding < report.per_miner_full_replication
+        assert report.reduction_vs_full_replication > 0.5
+
+    def test_maxshard_miners_store_everything(self, partition):
+        only_maxshard = {MAXSHARD_ID: 3}
+        report = storage_profile(partition, only_maxshard)
+        assert report.per_miner_contract_sharding == 90
+        assert report.reduction_vs_full_replication == 0.0
+
+    def test_system_storage_accounting(self, partition):
+        layout = {shard: 2 for shard in partition.by_shard}
+        report = storage_profile(partition, layout)
+        sizes = partition.shard_sizes
+        expected = 2 * sum(
+            90 if shard == MAXSHARD_ID else sizes[shard] for shard in sizes
+        )
+        assert report.system_contract_sharding == expected
+
+    def test_unknown_shard_rejected(self, partition):
+        with pytest.raises(ShardingError):
+            storage_profile(partition, {999: 1})
+
+    def test_empty_layout_rejected(self, partition):
+        with pytest.raises(ShardingError):
+            storage_profile(partition, {})
+
+    def test_more_shards_bigger_savings(self):
+        """Finer sharding shrinks the average slice per miner."""
+        layouts = {}
+        for contracts in (2, 8):
+            txs = uniform_contract_workload(90, contracts, seed=2)
+            partition = partition_transactions(txs)
+            layout = {shard: 1 for shard in partition.by_shard}
+            layouts[contracts] = storage_profile(partition, layout)
+        assert (
+            layouts[8].per_miner_contract_sharding
+            < layouts[2].per_miner_contract_sharding
+        )
+
+
+class TestQueryCost:
+    def test_callgraph_is_cheaper(self):
+        report = classification_query_cost(history_length=10_000, sender_degree=3)
+        assert report.callgraph_operations == 3
+        assert report.speedup > 1_000
+
+    def test_degree_zero_costs_one(self):
+        report = classification_query_cost(history_length=100, sender_degree=0)
+        assert report.callgraph_operations == 1
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ShardingError):
+            classification_query_cost(-1, 0)
+        with pytest.raises(ShardingError):
+            classification_query_cost(1, -1)
+
+    def test_speedup_grows_with_history(self):
+        short = classification_query_cost(1_000, 2)
+        long = classification_query_cost(1_000_000, 2)
+        assert long.speedup > short.speedup

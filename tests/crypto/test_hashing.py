@@ -1,0 +1,76 @@
+"""Tests for repro.crypto.hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import hash_items, int_from_hash, sha256_hex, uniform_from_hash
+
+
+class TestSha256Hex:
+    def test_known_vector(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_str_and_bytes_agree(self):
+        assert sha256_hex("hello") == sha256_hex(b"hello")
+
+    def test_distinct_inputs_distinct_digests(self):
+        assert sha256_hex("a") != sha256_hex("b")
+
+    @given(st.text())
+    def test_always_64_hex_digits(self, text):
+        digest = sha256_hex(text)
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+
+class TestHashItems:
+    def test_deterministic(self):
+        assert hash_items([1, "a", None]) == hash_items([1, "a", None])
+
+    def test_domain_separates(self):
+        assert hash_items([1], domain="x") != hash_items([1], domain="y")
+
+    def test_order_matters(self):
+        assert hash_items([1, 2]) != hash_items([2, 1])
+
+    def test_item_boundaries_matter(self):
+        # ["ab"] must not collide with ["a", "b"].
+        assert hash_items(["ab"]) != hash_items(["a", "b"])
+
+
+class TestUniformFromHash:
+    def test_in_unit_interval(self):
+        value = uniform_from_hash(sha256_hex("x"))
+        assert 0.0 <= value < 1.0
+
+    def test_rejects_short_digest(self):
+        with pytest.raises(ValueError):
+            uniform_from_hash("abcd")
+
+    @given(st.text(max_size=64))
+    def test_uniform_for_any_input(self, text):
+        value = uniform_from_hash(sha256_hex(text))
+        assert 0.0 <= value < 1.0
+
+    def test_roughly_uniform_distribution(self):
+        values = [uniform_from_hash(sha256_hex(str(i))) for i in range(2_000)]
+        mean = sum(values) / len(values)
+        assert 0.47 < mean < 0.53
+
+
+class TestIntFromHash:
+    def test_in_range(self):
+        for modulus in (1, 2, 7, 100):
+            value = int_from_hash(sha256_hex("seed"), modulus)
+            assert 0 <= value < modulus
+
+    def test_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            int_from_hash(sha256_hex("seed"), 0)
+
+    def test_covers_all_residues(self):
+        seen = {int_from_hash(sha256_hex(str(i)), 5) for i in range(200)}
+        assert seen == {0, 1, 2, 3, 4}

@@ -1,0 +1,82 @@
+"""Tests for repro.crypto.merkle."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import MerkleProof, MerkleTree
+
+
+class TestMerkleTree:
+    def test_empty_tree_has_sentinel_root(self):
+        assert MerkleTree([]).root == MerkleTree([]).root
+        assert len(MerkleTree([])) == 0
+
+    def test_single_item(self):
+        tree = MerkleTree(["tx1"])
+        assert tree.proof(0).verify(tree.root)
+
+    def test_root_changes_with_content(self):
+        assert MerkleTree(["a"]).root != MerkleTree(["b"]).root
+
+    def test_root_changes_with_order(self):
+        assert MerkleTree(["a", "b"]).root != MerkleTree(["b", "a"]).root
+
+    def test_deterministic(self):
+        items = [f"tx{i}" for i in range(7)]
+        assert MerkleTree(items).root == MerkleTree(items).root
+
+    def test_proofs_verify_for_every_leaf(self):
+        for n in (1, 2, 3, 4, 5, 8, 13):
+            items = [f"tx{i}" for i in range(n)]
+            tree = MerkleTree(items)
+            for index in range(n):
+                assert tree.proof(index).verify(tree.root), (n, index)
+
+    def test_proof_fails_against_other_root(self):
+        tree = MerkleTree(["a", "b", "c"])
+        other = MerkleTree(["a", "b", "d"])
+        assert not tree.proof(0).verify(other.root)
+
+    def test_proof_for_tampered_leaf_fails(self):
+        tree = MerkleTree(["a", "b", "c"])
+        proof = tree.proof(1)
+        forged = MerkleProof(index=1, leaf="evil", siblings=proof.siblings)
+        assert not forged.verify(tree.root)
+
+    def test_proof_with_bad_side_marker_fails(self):
+        tree = MerkleTree(["a", "b"])
+        proof = tree.proof(0)
+        corrupted = MerkleProof(
+            index=0,
+            leaf=proof.leaf,
+            siblings=tuple(("X", sib) for __, sib in proof.siblings),
+        )
+        assert not corrupted.verify(tree.root)
+
+    def test_out_of_range_proof_rejected(self):
+        tree = MerkleTree(["a"])
+        with pytest.raises(IndexError):
+            tree.proof(1)
+        with pytest.raises(IndexError):
+            tree.proof(-1)
+
+    @given(st.lists(st.text(min_size=1), min_size=1, max_size=24, unique=True))
+    def test_property_all_proofs_verify(self, items):
+        tree = MerkleTree(items)
+        for index in range(len(items)):
+            assert tree.proof(index).verify(tree.root)
+
+    @given(
+        st.lists(st.text(min_size=1), min_size=2, max_size=12, unique=True),
+        st.data(),
+    )
+    def test_property_cross_leaf_proofs_fail(self, items, data):
+        tree = MerkleTree(items)
+        index = data.draw(st.integers(min_value=0, max_value=len(items) - 1))
+        other = (index + 1) % len(items)
+        proof = tree.proof(index)
+        swapped = MerkleProof(
+            index=index, leaf=items[other], siblings=proof.siblings
+        )
+        assert not swapped.verify(tree.root)

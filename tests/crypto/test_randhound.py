@@ -1,0 +1,100 @@
+"""Tests for repro.crypto.randhound."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.randhound import BeaconRound, RandHoundBeacon, group_draw
+from repro.errors import BeaconError
+
+
+def make_participants(n: int) -> list[KeyPair]:
+    return [KeyPair.from_seed(f"p{i}") for i in range(n)]
+
+
+class TestBeacon:
+    def test_round_produces_randomness(self):
+        beacon = RandHoundBeacon(make_participants(4))
+        completed = beacon.run_round()
+        assert len(completed.randomness) == 64
+
+    def test_rounds_differ(self):
+        beacon = RandHoundBeacon(make_participants(4))
+        r1, r2 = beacon.run_round(), beacon.run_round()
+        assert r1.randomness != r2.randomness
+
+    def test_replay_is_identical(self):
+        a = RandHoundBeacon(make_participants(4)).run_round()
+        b = RandHoundBeacon(make_participants(4)).run_round()
+        assert a.randomness == b.randomness
+
+    def test_transcript_verifies(self):
+        completed = RandHoundBeacon(make_participants(5)).run_round()
+        assert completed.verify()
+
+    def test_tampered_reveal_fails_verification(self):
+        completed = RandHoundBeacon(make_participants(3)).run_round()
+        tampered_reveals = dict(completed.reveals)
+        victim = next(iter(tampered_reveals))
+        tampered_reveals[victim] = "f" * 64
+        tampered = BeaconRound(
+            round_id=completed.round_id,
+            commitments=completed.commitments,
+            reveals=tampered_reveals,
+            randomness=completed.randomness,
+        )
+        assert not tampered.verify()
+
+    def test_tampered_randomness_fails_verification(self):
+        completed = RandHoundBeacon(make_participants(3)).run_round()
+        tampered = BeaconRound(
+            round_id=completed.round_id,
+            commitments=completed.commitments,
+            reveals=completed.reveals,
+            randomness="0" * 64,
+        )
+        assert not tampered.verify()
+
+    def test_withholding_detected(self):
+        participants = make_participants(3)
+        beacon = RandHoundBeacon(participants)
+        with pytest.raises(BeaconError, match="withheld"):
+            beacon.run_round(withholders={participants[0].public})
+
+    def test_empty_participants_rejected(self):
+        with pytest.raises(BeaconError):
+            RandHoundBeacon([])
+
+    def test_duplicate_participants_rejected(self):
+        kp = KeyPair.from_seed("dup")
+        with pytest.raises(BeaconError):
+            RandHoundBeacon([kp, kp])
+
+    def test_history_accumulates(self):
+        beacon = RandHoundBeacon(make_participants(2))
+        beacon.run_round()
+        beacon.run_round()
+        assert [r.round_id for r in beacon.history] == [0, 1]
+
+
+class TestGroupDraw:
+    def test_in_range(self):
+        for i in range(50):
+            draw = group_draw("rand", f"pk{i}", groups=100)
+            assert 1 <= draw <= 100
+
+    def test_deterministic(self):
+        assert group_draw("r", "pk") == group_draw("r", "pk")
+
+    def test_randomness_sensitivity(self):
+        draws_a = [group_draw("ra", f"pk{i}") for i in range(50)]
+        draws_b = [group_draw("rb", f"pk{i}") for i in range(50)]
+        assert draws_a != draws_b
+
+    def test_roughly_even_split(self):
+        draws = [group_draw("rand", f"pk{i}", groups=2) for i in range(2_000)]
+        ones = draws.count(1)
+        assert 900 < ones < 1_100
+
+    def test_invalid_groups_rejected(self):
+        with pytest.raises(BeaconError):
+            group_draw("rand", "pk", groups=0)

@@ -1,0 +1,89 @@
+"""Tests for repro.crypto.vrf."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.vrf import VRFOutput, elect_leader, vrf_prove, vrf_uniform, vrf_verify
+from repro.errors import VRFVerificationError
+
+
+class TestVRFProve:
+    def test_deterministic(self):
+        kp = KeyPair.from_seed("s")
+        assert vrf_prove(kp, "in") == vrf_prove(kp, "in")
+
+    def test_input_sensitivity(self):
+        kp = KeyPair.from_seed("s")
+        assert vrf_prove(kp, "a").output != vrf_prove(kp, "b").output
+
+    def test_key_sensitivity(self):
+        a, b = KeyPair.from_seed("a"), KeyPair.from_seed("b")
+        assert vrf_prove(a, "in").output != vrf_prove(b, "in").output
+
+    def test_uniform_in_unit_interval(self):
+        kp = KeyPair.from_seed("s")
+        assert 0.0 <= vrf_uniform(kp, "in") < 1.0
+
+    def test_output_differs_from_proof(self):
+        result = vrf_prove(KeyPair.from_seed("s"), "in")
+        assert result.output != result.proof
+
+
+class TestVRFVerify:
+    def test_honest_output_verifies(self):
+        kp = KeyPair.from_seed("s")
+        assert vrf_verify(vrf_prove(kp, "in"), kp)
+
+    def test_forged_output_fails_with_keypair(self):
+        kp = KeyPair.from_seed("s")
+        honest = vrf_prove(kp, "in")
+        forged = VRFOutput(
+            public=kp.public,
+            vrf_input="in",
+            output="0" * 64,
+            proof=honest.proof,
+        )
+        assert not vrf_verify(forged, kp)
+
+    def test_wrong_keypair_fails(self):
+        kp, other = KeyPair.from_seed("s"), KeyPair.from_seed("o")
+        assert not vrf_verify(vrf_prove(kp, "in"), other)
+
+    def test_structural_check_without_keypair(self):
+        kp = KeyPair.from_seed("s")
+        assert vrf_verify(vrf_prove(kp, "in"))
+
+
+class TestElectLeader:
+    def test_single_candidate_wins(self):
+        kp = KeyPair.from_seed("only")
+        leader, proof = elect_leader([kp], "epoch")
+        assert leader == kp
+        assert vrf_verify(proof, kp)
+
+    def test_deterministic_for_same_epoch(self):
+        candidates = [KeyPair.from_seed(str(i)) for i in range(10)]
+        first, __ = elect_leader(candidates, "epoch-1")
+        second, __ = elect_leader(candidates, "epoch-1")
+        assert first == second
+
+    def test_varies_across_epochs(self):
+        candidates = [KeyPair.from_seed(str(i)) for i in range(10)]
+        winners = {elect_leader(candidates, f"epoch-{e}")[0].public for e in range(30)}
+        assert len(winners) > 1  # leadership rotates with the seed
+
+    def test_order_invariant(self):
+        candidates = [KeyPair.from_seed(str(i)) for i in range(5)]
+        forward, __ = elect_leader(candidates, "e")
+        backward, __ = elect_leader(list(reversed(candidates)), "e")
+        assert forward == backward
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(VRFVerificationError):
+            elect_leader([], "epoch")
+
+    def test_winner_has_lowest_output(self):
+        candidates = [KeyPair.from_seed(str(i)) for i in range(8)]
+        leader, proof = elect_leader(candidates, "epoch")
+        outputs = [vrf_prove(kp, "epoch").output for kp in candidates]
+        assert proof.output == min(outputs)

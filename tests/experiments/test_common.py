@@ -1,0 +1,83 @@
+"""Tests for repro.experiments.common helpers."""
+
+import pytest
+
+from repro.core.shard_formation import partition_transactions
+from repro.experiments.common import (
+    epoch_selection_assignments,
+    merging_pipeline_once,
+    specs_from_partition,
+)
+from repro.workloads.generators import single_shard_workload, uniform_contract_workload
+
+
+class TestSpecsFromPartition:
+    def test_skips_empty_shards(self):
+        txs = uniform_contract_workload(30, 2, seed=1)
+        partition = partition_transactions(txs)
+        by_shard = dict(partition.by_shard)
+        by_shard[99] = []  # an empty shard
+        specs = specs_from_partition(by_shard)
+        assert 99 not in {s.shard_id for s in specs}
+
+    def test_include_empty(self):
+        specs = specs_from_partition({1: [], 2: []}, include_empty=True)
+        assert len(specs) == 2
+
+    def test_miner_naming(self):
+        txs = uniform_contract_workload(10, 1, seed=2)
+        partition = partition_transactions(txs)
+        specs = specs_from_partition(partition.by_shard, miners_per_shard=3)
+        for spec in specs:
+            assert len(spec.miners) == 3
+            assert len(set(spec.miners)) == 3
+
+
+class TestEpochSelectionAssignments:
+    def test_assignment_is_complete_and_disjoint(self):
+        txs = single_shard_workload(50, seed=3)
+        miners = [f"m{i}" for i in range(5)]
+        assignments = epoch_selection_assignments(txs, miners, capacity=5, seed=4)
+        all_assigned = [tx_id for ids in assignments.values() for tx_id in ids]
+        assert sorted(all_assigned) == sorted(tx.tx_id for tx in txs)
+        assert len(all_assigned) == len(set(all_assigned))
+
+    def test_every_miner_keyed(self):
+        txs = single_shard_workload(10, seed=5)
+        miners = [f"m{i}" for i in range(4)]
+        assignments = epoch_selection_assignments(txs, miners, capacity=3, seed=6)
+        assert set(assignments) == set(miners)
+
+    def test_deterministic(self):
+        txs = single_shard_workload(30, seed=7)
+        miners = [f"m{i}" for i in range(3)]
+        a = epoch_selection_assignments(txs, miners, capacity=4, seed=8)
+        b = epoch_selection_assignments(txs, miners, capacity=4, seed=8)
+        assert a == b
+
+    def test_single_miner_gets_everything(self):
+        txs = single_shard_workload(12, seed=9)
+        assignments = epoch_selection_assignments(txs, ["solo"], capacity=5, seed=10)
+        assert len(assignments["solo"]) == 12
+
+    def test_more_miners_than_txs(self):
+        txs = single_shard_workload(3, seed=11)
+        miners = [f"m{i}" for i in range(6)]
+        assignments = epoch_selection_assignments(txs, miners, capacity=2, seed=12)
+        assigned = [tx_id for ids in assignments.values() for tx_id in ids]
+        assert sorted(assigned) == sorted(tx.tx_id for tx in txs)
+
+
+class TestMergingPipeline:
+    def test_metrics_are_consistent(self):
+        metrics = merging_pipeline_once(small_count=4, seed=42)
+        assert metrics["improvement_before"] > 1.0
+        assert metrics["improvement_after"] > 1.0
+        assert metrics["empty_before"] >= 0.0
+        assert metrics["new_shards_ours"] >= 0.0
+
+    def test_sweep_leftovers_flag(self):
+        swept = merging_pipeline_once(small_count=4, seed=43, sweep_leftovers=True)
+        unswept = merging_pipeline_once(small_count=4, seed=43, sweep_leftovers=False)
+        # Both complete; sweeping never leaves more idle small shards.
+        assert swept["empty_after"] <= unswept["empty_after"] + 1.0

@@ -1,0 +1,57 @@
+"""Unit tests for per-experiment helper functions."""
+
+import pytest
+
+from repro.experiments.fig3a import measure_improvement as fig3a_point
+from repro.experiments.fig3h import measure_improvement as fig3h_point
+from repro.experiments.fig4b import our_communication_times
+from repro.experiments.fig4c import measure_unification_messages
+from repro.experiments.fig5a import measure_point as fig5a_point
+from repro.experiments.fig5b import measure_point as fig5b_point
+
+
+class TestFig3aHelper:
+    def test_single_shard_is_baseline(self):
+        improvement = fig3a_point(shard_count=1, run_seed=1, total_txs=60)
+        assert improvement == pytest.approx(1.0, abs=0.3)
+
+    def test_more_shards_more_improvement(self):
+        one = fig3a_point(shard_count=1, run_seed=2, total_txs=120)
+        six = fig3a_point(shard_count=6, run_seed=2, total_txs=120)
+        assert six > 2 * one
+
+
+class TestFig3hHelper:
+    def test_single_miner_is_baseline(self):
+        improvement = fig3h_point(miners=1, run_seed=3, total_txs=60)
+        assert improvement == pytest.approx(1.0, abs=0.35)
+
+    def test_miners_add_parallelism(self):
+        solo = fig3h_point(miners=1, run_seed=4, total_txs=100)
+        six = fig3h_point(miners=6, run_seed=4, total_txs=100)
+        assert six > 1.5 * solo
+
+
+class TestFig4bHelper:
+    def test_zero_volume_zero_messages(self):
+        assert our_communication_times(0, seed=5) == 0.0
+
+    def test_positive_volume_still_zero(self):
+        """The checked claim: multi-input txs stay in the MaxShard."""
+        assert our_communication_times(200, seed=6) == 0.0
+
+
+class TestFig4cHelper:
+    def test_two_messages_per_shard(self):
+        for shards in (1, 4, 9):
+            assert measure_unification_messages(shards, seed=7) == 2.0
+
+
+class TestFig5Helpers:
+    def test_fig5a_point_bounds(self):
+        ours, optimal = fig5a_point(small_shards=60, seed=8)
+        assert 0 <= ours <= optimal
+
+    def test_fig5b_point_bounds(self):
+        ours, optimal = fig5b_point(miners=60, seed=9)
+        assert 1 <= ours <= optimal == 60

@@ -1,0 +1,83 @@
+"""Tests for the experiment registry and base plumbing."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import experiment_ids, run_experiment
+from repro.experiments.base import ExperimentResult, averaged
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        expected = {
+            "table1",
+            "fig1d",
+            "fig3a",
+            "fig3b",
+            "fig3c",
+            "fig3d",
+            "fig3e",
+            "fig3f",
+            "fig3g",
+            "fig3h",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "fig5a",
+            "fig5b",
+            "security",
+        }
+        assert expected <= set(ids)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("fig99")
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="x",
+            title="t",
+            rows=[{"a": 1, "b": 2.5}, {"a": 2, "b": 0.0001}],
+            paper_claims={"claim": "value"},
+            notes="note",
+        )
+
+    def test_column(self):
+        assert self.make().column("a") == [1, 2]
+
+    def test_missing_column(self):
+        with pytest.raises(ExperimentError):
+            self.make().column("zzz")
+
+    def test_table_renders(self):
+        table = self.make().to_table()
+        assert "a" in table and "b" in table
+        assert "1.000e-04" in table  # tiny floats in scientific notation
+
+    def test_empty_table(self):
+        empty = ExperimentResult(experiment_id="x", title="t")
+        assert "no rows" in empty.to_table()
+
+    def test_summary_lines(self):
+        lines = self.make().summary_lines()
+        assert any("claim" in line for line in lines)
+        assert any("note" in line for line in lines)
+
+
+class TestAveraged:
+    def test_averages_over_seeds(self):
+        values = averaged(lambda seed: float(seed % 3), repetitions=30, base_seed=1)
+        assert 0.0 <= values <= 2.0
+
+    def test_deterministic(self):
+        measure = lambda seed: float(seed % 7)
+        a = averaged(measure, 5, base_seed=3)
+        b = averaged(measure, 5, base_seed=3)
+        assert a == b
+
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ExperimentError):
+            averaged(lambda seed: 0.0, repetitions=0, base_seed=1)

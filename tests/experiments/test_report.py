@@ -1,0 +1,62 @@
+"""Tests for repro.experiments.report and the report CLI."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import run_experiment
+from repro.experiments.base import ExperimentResult
+from repro.experiments.report import generate_report, render_result
+
+
+class TestRenderResult:
+    def test_renders_claims_and_rows(self):
+        result = run_experiment("fig4c", quick=True)
+        section = render_result(result)
+        assert section.startswith("## fig4c")
+        assert "Paper claims" in section
+        assert "| small_shards |" in section
+
+    def test_renders_notes_as_quote(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t", rows=[{"a": 1}], notes="careful"
+        )
+        assert "> careful" in render_result(result)
+
+    def test_empty_rows(self):
+        result = ExperimentResult(experiment_id="x", title="t")
+        assert "(no rows)" in render_result(result)
+
+    def test_small_floats_scientific(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t", rows=[{"p": 3e-6}]
+        )
+        assert "3.000e-06" in render_result(result)
+
+
+class TestGenerateReport:
+    def test_subset_report(self):
+        report = generate_report(ids=["fig4c", "fig1d"], quick=True)
+        assert "## fig4c" in report
+        assert "## fig1d" in report
+        assert "## fig3a" not in report
+
+    def test_header_mentions_mode(self):
+        report = generate_report(ids=["fig4c"], quick=True)
+        assert "quick sweep" in report
+
+
+class TestReportCLI:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--only", "fig4c"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--only", "fig4c", "--output", str(target)]) == 0
+        assert "## fig4c" in target.read_text()
+        assert "written to" in capsys.readouterr().out
+
+    def test_rejects_unknown_subset(self):
+        with pytest.raises(SystemExit):
+            main(["report", "--only", "fig99"])

@@ -1,0 +1,77 @@
+"""Structural tests: every experiment's rows match its paper artifact.
+
+Cheap invariants on x-axis ranges and column sets, so a refactor cannot
+silently change what an experiment sweeps.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def quick():
+    cache = {}
+
+    def get(eid):
+        if eid not in cache:
+            cache[eid] = run_experiment(eid, quick=True, seed=0)
+        return cache[eid]
+
+    return get
+
+
+class TestAxes:
+    def test_table1_sweeps_2_to_7_miners(self, quick):
+        assert quick("table1").column("miners") == [2, 3, 4, 5, 6, 7]
+
+    def test_fig1d_starts_at_20_miners(self, quick):
+        miners = quick("fig1d").column("miners")
+        assert miners[0] == 20
+        assert miners[-1] <= 100
+
+    def test_fig3a_sweeps_1_to_9_shards(self, quick):
+        assert quick("fig3a").column("shards") == list(range(1, 10))
+
+    def test_fig3b_matches_fig3a_axis(self, quick):
+        assert quick("fig3b").column("shards") == quick("fig3a").column("shards")
+
+    def test_merging_figs_sweep_2_to_7_small_shards(self, quick):
+        for eid in ("fig3c", "fig3d", "fig3e", "fig3f", "fig3g"):
+            assert quick(eid).column("small_shards") == list(range(2, 8)), eid
+
+    def test_fig3h_sweeps_1_to_9_miners(self, quick):
+        assert quick("fig3h").column("miners") == list(range(1, 10))
+
+    def test_fig4b_starts_at_zero(self, quick):
+        volumes = quick("fig4b").column("three_input_txs")
+        assert volumes[0] == 0
+        assert volumes == sorted(volumes)
+
+    def test_fig4c_sweeps_0_to_6_small_shards(self, quick):
+        assert quick("fig4c").column("small_shards") == list(range(0, 7))
+
+    def test_fig5_axes_increase(self, quick):
+        for eid, key in (("fig5a", "small_shards"), ("fig5b", "miners")):
+            axis = quick(eid).column(key)
+            assert axis == sorted(axis) and len(axis) >= 3, eid
+
+    def test_security_covers_both_adversaries(self, quick):
+        assert quick("security").column("adversary") == [0.25, 0.33]
+
+
+class TestColumns:
+    def test_every_result_has_uniform_rows(self, quick):
+        from repro.experiments import experiment_ids
+
+        for eid in experiment_ids():
+            result = quick(eid)
+            keys = set(result.rows[0])
+            for row in result.rows:
+                assert set(row) == keys, eid
+
+    def test_paper_claims_present_everywhere(self, quick):
+        from repro.experiments import experiment_ids
+
+        for eid in experiment_ids():
+            assert quick(eid).paper_claims, eid

@@ -1,0 +1,152 @@
+"""Shape tests: each experiment reproduces the paper's qualitative claim.
+
+These run every experiment in quick mode and assert the *direction* of
+the paper's findings (who wins, how curves trend) with generous margins —
+absolute values belong to the benchmarks and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    cache = {}
+
+    def get(eid):
+        if eid not in cache:
+            cache[eid] = run_experiment(eid, quick=True, seed=0)
+        return cache[eid]
+
+    return get
+
+
+class TestTable1:
+    def test_flattens_beyond_four_miners(self, results):
+        times = results("table1").column("confirmation_time_s")
+        # 2 miners are clearly slower than 4+; 4..7 are within noise.
+        assert times[0] > 1.5 * times[2]
+        later = times[2:]
+        assert max(later) < 1.6 * min(later)
+
+
+class TestFig1d:
+    def test_safety_increases_with_shard_size(self, results):
+        r = results("fig1d")
+        for key in ("safety_25pct", "safety_33pct"):
+            curve = r.column(key)
+            assert curve[-1] >= curve[0]
+            assert curve[-1] > 0.99
+
+    def test_weaker_adversary_safer(self, results):
+        r = results("fig1d")
+        for s25, s33 in zip(r.column("safety_25pct"), r.column("safety_33pct")):
+            assert s25 >= s33
+
+
+class TestFig3a:
+    def test_near_linear_scaling(self, results):
+        improvements = results("fig3a").column("throughput_improvement")
+        assert improvements[0] == pytest.approx(1.0, abs=0.35)
+        assert improvements[-1] > 4.0  # large gain at 9 shards
+        assert improvements[-1] > improvements[2] > improvements[0]
+
+
+class TestFig3b:
+    def test_empty_blocks_comparable_to_ethereum(self, results):
+        r = results("fig3b")
+        assert max(r.column("empty_blocks_ethereum")) <= 1.0
+        assert max(r.column("empty_blocks_sharding")) <= 6.0
+
+
+class TestMergingSweep:
+    def test_fig3c_reduction(self, results):
+        r = results("fig3c")
+        before = sum(r.column("empty_before_merging"))
+        after = sum(r.column("empty_after_merging"))
+        assert after < 0.4 * before  # paper: 90% reduction
+
+    def test_fig3d_modest_loss(self, results):
+        r = results("fig3d")
+        before = sum(r.column("improvement_before_merging"))
+        after = sum(r.column("improvement_after_merging"))
+        assert after > 0.6 * before  # paper: only 14% loss
+
+    def test_fig3d_improvement_decreases_with_small_shards(self, results):
+        curve = results("fig3d").column("improvement_before_merging")
+        assert curve[0] > curve[-1]
+
+    def test_fig3e_comparable_throughput(self, results):
+        r = results("fig3e")
+        ours = sum(r.column("improvement_ours"))
+        rand = sum(r.column("improvement_random"))
+        assert ours > 0.85 * rand  # ours at least comparable (paper: +11%)
+
+    def test_fig3g_more_new_shards_than_random(self, results):
+        r = results("fig3g")
+        ours = sum(r.column("new_shards_ours"))
+        rand = sum(r.column("new_shards_random"))
+        assert ours > rand
+
+
+class TestFig3h:
+    def test_selection_improves_with_miners(self, results):
+        curve = results("fig3h").column("throughput_improvement")
+        assert curve[0] == pytest.approx(1.0, abs=0.35)
+        assert curve[-1] > 2.0
+        average = sum(curve) / len(curve)
+        assert average > 2.0  # paper: 300% average
+
+
+class TestFig4a:
+    def test_both_scale(self, results):
+        r = results("fig4a")
+        ours = r.column("improvement_ours")
+        chainspace = r.column("improvement_chainspace")
+        assert ours[-1] > 4.0
+        assert chainspace[-1] > 4.0
+        # Ours is not worse than ChainSpace (within noise).
+        assert ours[-1] > 0.8 * chainspace[-1]
+
+
+class TestFig4b:
+    def test_zero_vs_linear(self, results):
+        r = results("fig4b")
+        assert all(v == 0.0 for v in r.column("comm_ours"))
+        chainspace = r.column("comm_chainspace")
+        assert chainspace[0] == 0.0
+        assert chainspace[-1] > 0.0
+        # Linearity: last/mid ratio tracks the volume ratio.
+        volumes = r.column("three_input_txs")
+        assert chainspace[-1] / chainspace[1] == pytest.approx(
+            volumes[-1] / volumes[1], rel=0.25
+        )
+
+
+class TestFig4c:
+    def test_constant_two(self, results):
+        r = results("fig4c")
+        assert all(v == 2.0 for v in r.column("comm_times_per_shard"))
+
+
+class TestFig5a:
+    def test_near_optimal(self, results):
+        r = results("fig5a")
+        for ratio in r.column("fraction_of_optimal"):
+            assert 0.6 <= ratio <= 1.0
+
+
+class TestFig5b:
+    def test_half_of_optimal(self, results):
+        r = results("fig5b")
+        for ratio in r.column("fraction_of_optimal"):
+            assert 0.3 <= ratio <= 0.8  # paper: ~50%
+
+
+class TestSecurityNumbers:
+    def test_paper_orders_of_magnitude(self, results):
+        rows = results("security").rows
+        at_25 = next(row for row in rows if row["adversary"] == 0.25)
+        assert at_25["eq3_merging_failure"] < 1e-4
+        assert at_25["eq6_selection_corruption"] < 1e-5

@@ -1,0 +1,67 @@
+"""Integration: the real assignment mechanism matches the security model.
+
+Sec. III-B argues shard safety from a binomial model of malicious
+membership; here we *run* the VRF/RandHound assignment over a population
+containing adversarial identities and check that the empirical per-shard
+malicious fractions behave as the closed form predicts — i.e. the
+adversary gains nothing from the actual mechanism that the model missed.
+"""
+
+import statistics
+
+import pytest
+
+from repro.consensus.miner import MinerIdentity
+from repro.core import security
+from repro.core.miner_assignment import assign_miners
+
+
+FRACTIONS = {0: 34.0, 1: 33.0, 2: 33.0}
+
+
+def run_epochs(total_miners: int, malicious: int, epochs: int):
+    """Assign a mixed population repeatedly; yield per-shard malicious counts."""
+    miners = [MinerIdentity.create(f"sec-{i}") for i in range(total_miners)]
+    malicious_keys = {m.public for m in miners[:malicious]}
+    for epoch in range(epochs):
+        assignment = assign_miners(miners, FRACTIONS, epoch_seed=f"sec-e{epoch}")
+        for shard in FRACTIONS:
+            members = assignment.members_of(shard)
+            if members:
+                bad = sum(1 for m in members if m in malicious_keys)
+                yield shard, len(members), bad
+
+
+class TestAssignmentMatchesSecurityModel:
+    def test_malicious_fraction_tracks_population(self):
+        """Per-shard malicious fractions concentrate near the global 25%."""
+        samples = list(run_epochs(total_miners=90, malicious=22, epochs=40))
+        fractions = [bad / size for __, size, bad in samples if size >= 10]
+        assert statistics.mean(fractions) == pytest.approx(22 / 90, abs=0.03)
+
+    def test_empirical_corruption_rate_matches_binomial(self):
+        """The fraction of shards where the adversary got a majority is
+        close to the Eq. (5)-style binomial prediction."""
+        samples = list(run_epochs(total_miners=90, malicious=22, epochs=120))
+        sized = [(size, bad) for __, size, bad in samples if size >= 15]
+        corrupted = sum(1 for size, bad in sized if bad > size // 2)
+        empirical = corrupted / len(sized)
+        predictions = [
+            security.shard_corruption_probability(size, 22 / 90)
+            for size, __ in sized
+        ]
+        predicted = statistics.mean(predictions)
+        assert empirical == pytest.approx(predicted, abs=0.02)
+
+    def test_adversary_cannot_target_a_shard(self):
+        """Across epochs the adversary's members spread over all shards —
+        no shard is persistently hers."""
+        miners = [MinerIdentity.create(f"target-{i}") for i in range(30)]
+        villain = miners[0].public
+        landed = set()
+        for epoch in range(30):
+            assignment = assign_miners(
+                miners, FRACTIONS, epoch_seed=f"tgt-{epoch}"
+            )
+            landed.add(assignment.shard_of[villain])
+        assert landed == set(FRACTIONS)

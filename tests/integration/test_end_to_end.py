@@ -1,0 +1,81 @@
+"""End-to-end integration: workload -> sharding -> simulation -> metrics."""
+
+import pytest
+
+from repro.baselines.ethereum import run_ethereum
+from repro.core.shard_formation import partition_transactions
+from repro.experiments.common import run_sharded, specs_from_partition
+from repro.sim.config import SimulationConfig, TimingModel
+from repro.sim.metrics import throughput_improvement
+from repro.sim.simulator import ShardedSimulation
+from repro.workloads.generators import uniform_contract_workload
+
+FAST = TimingModel.low_variance(interval=1.0, shape=48.0)
+
+
+class TestShardingPipeline:
+    def test_full_pipeline_improves_throughput(self):
+        txs = uniform_contract_workload(total_txs=180, contract_shards=8, seed=1)
+        ethereum = run_ethereum(
+            txs, miner_count=9, config=SimulationConfig(timing=FAST, seed=2)
+        )
+        sharded = run_sharded(txs, config=SimulationConfig(timing=FAST, seed=3))
+        improvement = throughput_improvement(ethereum.makespan, sharded.makespan)
+        assert improvement > 3.0
+        assert sharded.all_confirmed and ethereum.all_confirmed
+
+    def test_sharded_run_confirms_exactly_the_workload(self):
+        txs = uniform_contract_workload(total_txs=90, contract_shards=5, seed=4)
+        result = run_sharded(txs, config=SimulationConfig(timing=FAST, seed=5))
+        assert result.confirmed_transactions == 90
+        assert result.total_transactions == 90
+
+    def test_specs_cover_partition(self):
+        txs = uniform_contract_workload(total_txs=60, contract_shards=3, seed=6)
+        partition = partition_transactions(txs)
+        specs = specs_from_partition(partition.by_shard, miners_per_shard=2)
+        assert sum(len(s.transactions) for s in specs) == 60
+        assert all(len(s.miners) == 2 for s in specs)
+
+    def test_reproducible_end_to_end(self):
+        txs = uniform_contract_workload(total_txs=60, contract_shards=3, seed=7)
+        a = run_sharded(txs, config=SimulationConfig(timing=FAST, seed=8))
+        b = run_sharded(txs, config=SimulationConfig(timing=FAST, seed=8))
+        assert a.makespan == b.makespan
+        assert a.total_empty_blocks == b.total_empty_blocks
+
+
+class TestMergedPipeline:
+    def test_merging_reduces_empty_blocks_end_to_end(self):
+        """The full Fig. 3(c) pipeline on one seed."""
+        from repro.experiments.common import merging_pipeline_once
+
+        metrics = merging_pipeline_once(small_count=6, seed=11)
+        assert metrics["empty_after"] < metrics["empty_before"]
+
+    def test_merging_keeps_workload_confirmed(self):
+        from repro.experiments.common import (
+            MERGE_CONFIG,
+            MERGE_TIMING,
+            _merged_specs,
+        )
+        from repro.core.merging.algorithm import IterativeMerging
+        from repro.core.merging.game import ShardPlayer
+        from repro.workloads.generators import small_shard_workload
+
+        txs, sizes = small_shard_workload(
+            total_txs=100, shard_count=9, small_shard_sizes=[3, 4, 5], seed=12
+        )
+        partition = partition_transactions(txs)
+        players = [ShardPlayer(sid, sizes[sid], 5.0) for sid in (1, 2, 3)]
+        merge = IterativeMerging(MERGE_CONFIG, seed=13).run(players)
+        specs = _merged_specs(
+            partition.by_shard,
+            [o.merged_shards for o in merge.new_shards if o.satisfied],
+            [p.shard_id for p in merge.leftover_players],
+            sweep_leftovers=True,
+        )
+        config = SimulationConfig(timing=MERGE_TIMING, seed=14)
+        result = ShardedSimulation(specs, config=config).run()
+        assert result.all_confirmed
+        assert result.confirmed_transactions == 100

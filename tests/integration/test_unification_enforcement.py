@@ -1,0 +1,122 @@
+"""Integration: parameter unification enforces honest behavior.
+
+The Sec. IV-C scenario end to end: a leader unifies the game inputs;
+every miner replays locally; a miner deviating from the unified selection
+or merge is caught by comparing her block against the replayed output.
+"""
+
+import pytest
+
+from repro.chain.block import Block
+from repro.consensus.miner import MinerIdentity
+from repro.core.merging.game import MergingGameConfig, ShardPlayer
+from repro.core.selection.congestion_game import SelectionGameConfig
+from repro.core.unification import (
+    ShardSelectionInput,
+    UnificationPacket,
+    UnifiedReplay,
+)
+from repro.crypto.randhound import RandHoundBeacon
+from repro.crypto.vrf import elect_leader
+from repro.workloads.generators import single_shard_workload
+
+
+@pytest.fixture(scope="module")
+def protocol_round():
+    """One complete leader round: election, beacon, packet, replay."""
+    miners = [MinerIdentity.create(f"uni-{i}") for i in range(4)]
+    leader, proof = elect_leader([m.keypair for m in miners], "epoch-9")
+    beacon = RandHoundBeacon([m.keypair for m in miners])
+    randomness = beacon.run_round().randomness
+
+    txs = single_shard_workload(12, seed=21)
+    packet = UnificationPacket(
+        epoch_seed="epoch-9",
+        leader_public=leader.public,
+        randomness=randomness,
+        merge_players=tuple(ShardPlayer(i, 5, 2.0) for i in range(1, 6)),
+        merge_config=MergingGameConfig(shard_reward=10.0, lower_bound=10, subslots=8),
+        selection_inputs=(
+            ShardSelectionInput(
+                shard_id=1,
+                tx_ids=tuple(tx.tx_id for tx in txs),
+                fees=tuple(float(tx.fee) for tx in txs),
+                miners=tuple(m.public for m in miners),
+            ),
+        ),
+        selection_config=SelectionGameConfig(capacity=3),
+    )
+    return miners, txs, packet
+
+
+def block_of(miner_public, txs):
+    return Block.build(
+        parent_hash=Block.genesis(1).block_hash,
+        miner=miner_public,
+        shard_id=1,
+        height=1,
+        timestamp=1.0,
+        transactions=txs,
+    )
+
+
+class TestUnifiedRound:
+    def test_all_miners_agree_on_everything(self, protocol_round):
+        miners, __, packet = protocol_round
+        replays = [UnifiedReplay(packet) for __ in miners]
+        digests = {r.packet.digest() for r in replays}
+        assert len(digests) == 1
+        merge_maps = [r.merged_shard_map for r in replays]
+        assert all(m == merge_maps[0] for m in merge_maps)
+        for miner in miners:
+            assignments = {
+                tuple(r.assigned_tx_ids(1, miner.public)) for r in replays
+            }
+            assert len(assignments) == 1
+
+    def test_honest_blocks_accepted_by_all(self, protocol_round):
+        miners, txs, packet = protocol_round
+        by_id = {tx.tx_id: tx for tx in txs}
+        for miner in miners:
+            replay = UnifiedReplay(packet)
+            assigned = replay.assigned_tx_ids(1, miner.public)
+            block = block_of(miner.public, [by_id[t] for t in assigned])
+            for __ in miners:
+                assert UnifiedReplay(packet).block_follows_selection(block)
+
+    def test_greedy_deviator_caught(self, protocol_round):
+        """A miner ignoring her assignment and grabbing the top fees is
+        rejected unless greed happens to coincide with her assignment."""
+        miners, txs, packet = protocol_round
+        replay = UnifiedReplay(packet)
+        greedy_picks = sorted(txs, key=lambda t: -t.fee)[:3]
+        deviator = miners[0].public
+        assigned = set(replay.assigned_tx_ids(1, deviator))
+        block = block_of(deviator, greedy_picks)
+        expected = all(tx.tx_id in assigned for tx in greedy_picks)
+        assert replay.block_follows_selection(block) == expected
+
+    def test_foreign_tx_always_caught(self, protocol_round):
+        """Packing a transaction outside the unified input set is always
+        detected, whoever packs it."""
+        miners, __, packet = protocol_round
+        replay = UnifiedReplay(packet)
+        foreign_tx = single_shard_workload(1, seed=99)[0]
+        for miner in miners:
+            block = block_of(miner.public, [foreign_tx])
+            assert not replay.block_follows_selection(block)
+
+    def test_merge_shard_claims_verified(self, protocol_round):
+        __, __, packet = protocol_round
+        replay = UnifiedReplay(packet)
+        for shard, merged_into in replay.merged_shard_map.items():
+            assert replay.shard_claim_consistent_with_merge(shard, merged_into)
+            wrong = merged_into + 1000
+            assert not replay.shard_claim_consistent_with_merge(shard, wrong)
+
+    def test_tampered_packet_changes_digest(self, protocol_round):
+        miners, txs, packet = protocol_round
+        from dataclasses import replace
+
+        tampered = replace(packet, randomness="f" * 64)
+        assert tampered.digest() != packet.digest()

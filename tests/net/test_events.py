@@ -1,0 +1,124 @@
+"""Tests for repro.net.events — the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.events import EventQueue, Scheduler
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("first"))
+        queue.push(1.0, lambda: fired.append("second"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["first", "second"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        assert queue.peek_time() == 5.0
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        early = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        early.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_empty_peek(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestScheduler:
+    def test_clock_advances(self):
+        scheduler = Scheduler()
+        times = []
+        scheduler.schedule_in(3.0, lambda: times.append(scheduler.now))
+        scheduler.schedule_in(1.0, lambda: times.append(scheduler.now))
+        scheduler.run()
+        assert times == [1.0, 3.0]
+
+    def test_events_schedule_events(self):
+        scheduler = Scheduler()
+        fired = []
+
+        def chain(n):
+            fired.append(scheduler.now)
+            if n > 0:
+                scheduler.schedule_in(1.0, lambda: chain(n - 1))
+
+        scheduler.schedule_in(1.0, lambda: chain(2))
+        scheduler.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_until_caps_time(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_in(10.0, lambda: fired.append(True))
+        final = scheduler.run(until=5.0)
+        assert final == 5.0
+        assert fired == []
+        # The late event survives and can still run later.
+        scheduler.run()
+        assert fired == [True]
+
+    def test_until_advances_idle_clock(self):
+        scheduler = Scheduler()
+        assert scheduler.run(until=42.0) == 42.0
+        assert scheduler.now == 42.0
+
+    def test_stop_condition(self):
+        scheduler = Scheduler()
+        count = []
+        for i in range(10):
+            scheduler.schedule_in(float(i + 1), lambda: count.append(1))
+        scheduler.run(stop_condition=lambda: len(count) >= 3)
+        assert len(count) == 3
+
+    def test_past_scheduling_rejected(self):
+        scheduler = Scheduler()
+        scheduler.schedule_in(1.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Scheduler().schedule_in(-1.0, lambda: None)
+
+    def test_event_budget_guard(self):
+        scheduler = Scheduler()
+
+        def forever():
+            scheduler.schedule_in(1.0, forever)
+
+        scheduler.schedule_in(1.0, forever)
+        with pytest.raises(SimulationError, match="budget"):
+            scheduler.run(max_events=100)
+
+    def test_events_fired_counter(self):
+        scheduler = Scheduler()
+        scheduler.schedule_in(1.0, lambda: None)
+        scheduler.schedule_in(2.0, lambda: None)
+        scheduler.run()
+        assert scheduler.events_fired == 2

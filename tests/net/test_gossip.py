@@ -1,0 +1,116 @@
+"""Tests for repro.net.gossip."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.events import Scheduler
+from repro.net.gossip import GossipOverlay
+from repro.net.messages import Message, MessageKind
+from repro.net.network import LatencyModel, Network
+from repro.net.node import Node
+
+
+class GossipNode(Node):
+    """A node that relays through an overlay and records fresh payloads."""
+
+    def __init__(self, node_id, overlay_ref):
+        self._id = node_id
+        self._overlay_ref = overlay_ref
+        self.fresh_payloads = []
+
+    @property
+    def node_id(self):
+        return self._id
+
+    def receive(self, message):
+        overlay = self._overlay_ref[0]
+        if overlay.on_receive(self._id, message):
+            self.fresh_payloads.append(message.payload)
+
+
+def build_overlay(n=12, fanout=3, seed=1):
+    scheduler = Scheduler()
+    network = Network(
+        scheduler, latency=LatencyModel(base_seconds=0.01, jitter_seconds=0.01),
+        seed=seed,
+    )
+    overlay_ref = [None]
+    nodes = [GossipNode(f"g{i}", overlay_ref) for i in range(n)]
+    for node in nodes:
+        network.register(node)
+    overlay = GossipOverlay(network, fanout=fanout, seed=seed)
+    overlay_ref[0] = overlay
+    return scheduler, network, overlay, nodes
+
+
+class TestGossipOverlay:
+    def test_push_phase_reaches_most_nodes(self):
+        """Push gossip is probabilistic: expect wide but maybe partial
+        coverage from the push phase alone."""
+        scheduler, __, overlay, nodes = build_overlay()
+        overlay.publish(MessageKind.TX, "g0", payload="payload-1")
+        scheduler.run()
+        assert overlay.coverage("payload-1") >= 0.5
+
+    def test_push_plus_repair_reaches_everyone(self):
+        scheduler, __, overlay, nodes = build_overlay()
+        overlay.publish(MessageKind.TX, "g0", payload="payload-1")
+        scheduler.run()
+        overlay.repair(MessageKind.TX, "g0", "payload-1")
+        scheduler.run()
+        assert overlay.coverage("payload-1") == 1.0
+        receivers = [n for n in nodes if "payload-1" in n.fresh_payloads]
+        assert len(receivers) == len(nodes) - 1  # everyone but the origin
+
+    def test_repair_is_noop_at_full_coverage(self):
+        scheduler, __, overlay, __nodes = build_overlay(fanout=11)
+        overlay.publish(MessageKind.TX, "g0", payload="payload-x")
+        scheduler.run()
+        if overlay.coverage("payload-x") == 1.0:
+            assert overlay.repair(MessageKind.TX, "g0", "payload-x") == 0
+
+    def test_each_node_delivers_payload_once(self):
+        scheduler, __, overlay, nodes = build_overlay(fanout=5)
+        overlay.publish(MessageKind.TX, "g0", payload="payload-2")
+        scheduler.run()
+        for node in nodes:
+            assert node.fresh_payloads.count("payload-2") <= 1
+
+    def test_duplicates_suppressed(self):
+        scheduler, __, overlay, __nodes = build_overlay(fanout=6)
+        overlay.publish(MessageKind.TX, "g0", payload="payload-3")
+        scheduler.run()
+        assert overlay.stats.duplicates_suppressed > 0
+
+    def test_relay_traffic_bounded(self):
+        """Fanout bounds relays to O(n * fanout) rather than O(n^2)."""
+        scheduler, network, overlay, nodes = build_overlay(n=20, fanout=2)
+        overlay.publish(MessageKind.TX, "g0", payload="payload-4")
+        scheduler.run()
+        assert overlay.stats.relays_sent <= 20 * 2
+
+    def test_multiple_payloads_independent(self):
+        scheduler, __, overlay, __nodes = build_overlay()
+        overlay.publish(MessageKind.TX, "g0", payload="a")
+        overlay.publish(MessageKind.TX, "g5", payload="b")
+        scheduler.run()
+        assert overlay.coverage("a") == 1.0
+        assert overlay.coverage("b") == 1.0
+
+    def test_block_payloads_keyed_by_hash(self):
+        from repro.chain.block import Block
+
+        scheduler, __, overlay, nodes = build_overlay(n=6, fanout=3)
+        block = Block.genesis(1)
+        overlay.publish(MessageKind.BLOCK, "g0", payload=block)
+        scheduler.run()
+        assert overlay.coverage(block) == 1.0
+
+    def test_invalid_fanout(self):
+        scheduler, network, __, __nodes = build_overlay()
+        with pytest.raises(NetworkError):
+            GossipOverlay(network, fanout=0)
+
+    def test_coverage_of_unknown_payload(self):
+        __, __, overlay, __nodes = build_overlay()
+        assert overlay.coverage("never-published") == 0.0

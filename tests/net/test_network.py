@@ -1,0 +1,150 @@
+"""Tests for repro.net.network and repro.net.messages."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.events import Scheduler
+from repro.net.messages import Message, MessageKind
+from repro.net.network import LatencyModel, Network
+from repro.net.node import Node
+
+
+class Recorder(Node):
+    def __init__(self, node_id):
+        self._id = node_id
+        self.received = []
+
+    @property
+    def node_id(self):
+        return self._id
+
+    def receive(self, message):
+        self.received.append(message)
+
+
+def make_net(n=3, latency=None, seed=0):
+    scheduler = Scheduler()
+    network = Network(scheduler, latency=latency or LatencyModel(), seed=seed)
+    nodes = [Recorder(f"n{i}") for i in range(n)]
+    for node in nodes:
+        network.register(node)
+    return scheduler, network, nodes
+
+
+class TestMessageKinds:
+    def test_gossip_is_not_cross_shard(self):
+        assert not MessageKind.TX.is_cross_shard
+        assert not MessageKind.BLOCK.is_cross_shard
+
+    def test_consensus_kinds_are_cross_shard(self):
+        assert MessageKind.CROSS_SHARD_PREPARE.is_cross_shard
+        assert MessageKind.STAT_REPORT.is_cross_shard
+        assert MessageKind.LEADER_BROADCAST.is_cross_shard
+
+    def test_message_ids_unique(self):
+        a = Message(MessageKind.TX, "a", "b")
+        b = Message(MessageKind.TX, "a", "b")
+        assert a.msg_id != b.msg_id
+
+
+class TestDelivery:
+    def test_send_delivers_after_latency(self):
+        scheduler, network, nodes = make_net()
+        network.send(Message(MessageKind.TX, "n0", "n1", payload="hi"))
+        assert nodes[1].received == []  # not yet delivered
+        scheduler.run()
+        assert len(nodes[1].received) == 1
+        assert scheduler.now > 0
+
+    def test_zero_latency_model(self):
+        scheduler, network, nodes = make_net(
+            latency=LatencyModel(base_seconds=0.0, jitter_seconds=0.0)
+        )
+        network.send(Message(MessageKind.TX, "n0", "n1"))
+        scheduler.run()
+        assert scheduler.now == 0.0
+        assert len(nodes[1].received) == 1
+
+    def test_broadcast_excludes_sender(self):
+        scheduler, network, nodes = make_net(4)
+        fanout = network.broadcast(MessageKind.BLOCK, "n0", payload="b")
+        scheduler.run()
+        assert fanout == 3
+        assert nodes[0].received == []
+        assert all(len(node.received) == 1 for node in nodes[1:])
+
+    def test_multicast(self):
+        scheduler, network, nodes = make_net(4)
+        network.multicast(MessageKind.TX, "n0", "p", recipients=["n1", "n3"])
+        scheduler.run()
+        assert len(nodes[1].received) == 1
+        assert nodes[2].received == []
+        assert len(nodes[3].received) == 1
+
+    def test_unknown_recipient(self):
+        __, network, __nodes = make_net()
+        with pytest.raises(NetworkError):
+            network.send(Message(MessageKind.TX, "n0", "ghost"))
+
+    def test_duplicate_registration(self):
+        __, network, nodes = make_net()
+        with pytest.raises(NetworkError):
+            network.register(nodes[0])
+
+
+class TestAccounting:
+    def test_gossip_not_counted_cross_shard(self):
+        scheduler, network, __ = make_net()
+        network.send(Message(MessageKind.TX, "n0", "n1", shard_id=1))
+        scheduler.run()
+        assert network.messages_delivered == 1
+        assert network.cross_shard_messages == 0
+
+    def test_cross_shard_counted_per_shard(self):
+        scheduler, network, __ = make_net()
+        network.send(
+            Message(MessageKind.CROSS_SHARD_PREPARE, "n0", "n1", shard_id=2)
+        )
+        network.send(
+            Message(MessageKind.CROSS_SHARD_VOTE, "n1", "n0", shard_id=2)
+        )
+        scheduler.run()
+        assert network.cross_shard_messages == 2
+        assert network.per_shard_messages[2] == 2
+
+    def test_mean_per_shard(self):
+        scheduler, network, __ = make_net()
+        network.send(Message(MessageKind.STAT_REPORT, "n0", "n1", shard_id=1))
+        scheduler.run()
+        assert network.mean_per_shard_messages(2) == 0.5
+
+    def test_mean_per_shard_rejects_zero(self):
+        __, network, __nodes = make_net()
+        with pytest.raises(NetworkError):
+            network.mean_per_shard_messages(0)
+
+    def test_reset_accounting(self):
+        scheduler, network, __ = make_net()
+        network.send(Message(MessageKind.STAT_REPORT, "n0", "n1", shard_id=1))
+        scheduler.run()
+        network.reset_accounting()
+        assert network.messages_delivered == 0
+        assert network.per_shard_messages == {}
+
+    def test_per_kind_accounting(self):
+        scheduler, network, __ = make_net()
+        network.send(Message(MessageKind.BLOCK, "n0", "n1"))
+        network.send(Message(MessageKind.BLOCK, "n0", "n2"))
+        scheduler.run()
+        assert network.per_kind_messages[MessageKind.BLOCK] == 2
+
+
+class TestLatencyModel:
+    def test_sample_within_bounds(self):
+        import random
+
+        model = LatencyModel(base_seconds=0.05, jitter_seconds=0.05)
+        rng = random.Random(1)
+        for __ in range(100):
+            delay = model.sample(rng)
+            assert 0.05 <= delay <= 0.10

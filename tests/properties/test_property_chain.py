@@ -1,0 +1,143 @@
+"""Property-based tests on the chain substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import Block
+from repro.chain.ledger import Ledger
+from repro.chain.mempool import Mempool
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction, TransactionKind
+from repro.errors import ValidationError
+
+
+amounts = st.integers(min_value=0, max_value=50)
+fees = st.integers(min_value=0, max_value=20)
+
+
+@st.composite
+def transfer_batches(draw):
+    """A batch of transfers between a fixed user population."""
+    users = [f"0xu{i}" for i in range(4)]
+    count = draw(st.integers(min_value=1, max_value=12))
+    nonces = {u: 0 for u in users}
+    txs = []
+    for __ in range(count):
+        sender = draw(st.sampled_from(users))
+        recipient = draw(st.sampled_from([u for u in users if u != sender]))
+        tx = Transaction(
+            sender=sender,
+            recipient=recipient,
+            amount=draw(amounts),
+            fee=draw(fees),
+            kind=TransactionKind.DIRECT_TRANSFER,
+            nonce=nonces[sender],
+        )
+        nonces[sender] += 1
+        txs.append(tx)
+    return txs
+
+
+class TestStateProperties:
+    @given(transfer_batches())
+    @settings(max_examples=50, deadline=None)
+    def test_supply_conserved_with_miner(self, txs):
+        state = WorldState()
+        for user in {tx.sender for tx in txs} | {tx.recipient for tx in txs}:
+            state.create_account(user, balance=1_000)
+        supply_before = state.total_supply()
+        for tx in txs:
+            try:
+                state.apply_transaction(tx, miner="pk-m")
+            except ValidationError:
+                pass
+        assert state.total_supply() == supply_before
+
+    @given(transfer_batches())
+    @settings(max_examples=50, deadline=None)
+    def test_balances_never_negative(self, txs):
+        state = WorldState()
+        for user in {tx.sender for tx in txs} | {tx.recipient for tx in txs}:
+            state.create_account(user, balance=30)
+        for tx in txs:
+            try:
+                state.apply_transaction(tx, miner="pk-m")
+            except ValidationError:
+                pass
+        assert all(acc.balance >= 0 for acc in state.accounts.values())
+
+    @given(transfer_batches())
+    @settings(max_examples=50, deadline=None)
+    def test_nonces_match_confirmed_tx_count(self, txs):
+        state = WorldState()
+        for user in {tx.sender for tx in txs} | {tx.recipient for tx in txs}:
+            state.create_account(user, balance=10_000)
+        applied: dict[str, int] = {}
+        for tx in txs:
+            try:
+                state.apply_transaction(tx)
+            except ValidationError:
+                continue
+            applied[tx.sender] = applied.get(tx.sender, 0) + 1
+        for sender, count in applied.items():
+            assert state.account(sender).nonce == count
+
+
+class TestLedgerProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=25),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_fork_insertion_keeps_invariants(self, parent_picks):
+        """Insert blocks onto randomly chosen known parents; the head must
+        always be a deepest block and the canonical chain must be
+        parent-linked."""
+        ledger = Ledger()
+        known = [ledger.head_hash]
+        heights = {ledger.head_hash: 0}
+        for i, pick in enumerate(parent_picks):
+            parent = known[pick % len(known)]
+            block = Block.build(
+                parent_hash=parent,
+                miner=f"pk{i}",
+                shard_id=0,
+                height=heights[parent] + 1,
+                timestamp=float(i),
+            )
+            ledger.add_block(block)
+            known.append(block.block_hash)
+            heights[block.block_hash] = heights[parent] + 1
+
+        assert ledger.height == max(heights.values())
+        chain = ledger.canonical_chain()
+        for parent_block, child in zip(chain, chain[1:]):
+            assert child.header.parent_hash == parent_block.block_hash
+        # Stale + canonical(non-genesis counted via entries) == inserted + genesis
+        assert ledger.count_stale_blocks() + len(chain) == len(known)
+
+
+class TestMempoolProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=99), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_greedy_selection_sorted_and_stable(self, fee_values):
+        pool = Mempool()
+        for i, fee in enumerate(fee_values):
+            pool.add(
+                Transaction(
+                    sender=f"0xu{i}",
+                    recipient="0xur",
+                    amount=0,
+                    fee=fee,
+                    kind=TransactionKind.DIRECT_TRANSFER,
+                )
+            )
+        selected = pool.select_by_fee(10)
+        observed = [tx.fee for tx in selected]
+        assert observed == sorted(observed, reverse=True)
+        if len(fee_values) > 10:
+            # Nothing outside the selection beats anything inside it.
+            leftover_max = max(
+                (tx.fee for tx in pool.pending() if tx not in selected),
+                default=-1,
+            )
+            assert all(fee >= leftover_max for fee in observed)

@@ -1,0 +1,30 @@
+"""Tests for the python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "table1" in out and "security" in out
+
+    def test_run_quick(self, capsys):
+        assert main(["run", "fig1d", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "safety_33pct" in out
+
+    def test_run_with_seed(self, capsys):
+        assert main(["run", "fig4c", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "comm_times_per_shard" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are part of the public surface; they must keep working as the
+library evolves. Each is executed in-process via runpy so failures carry
+full tracebacks.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLES) >= 4
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_improvement(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Throughput improvement" in out
+    assert "MaxShard" in out
+
+
+def test_adversarial_audit_rejects_cheaters(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "adversarial_audit.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "blocks rejected network-wide" in out
+    assert "cheating block follows selection: False" in out

@@ -1,0 +1,138 @@
+"""Tests for repro.workloads.generators."""
+
+import pytest
+
+from repro.chain.state import WorldState
+from repro.chain.contract import SmartContract
+from repro.core.shard_formation import MAXSHARD_ID, partition_transactions
+from repro.errors import WorkloadError
+from repro.workloads.generators import (
+    WorkloadBuilder,
+    single_shard_workload,
+    small_shard_workload,
+    three_input_workload,
+    uniform_contract_workload,
+)
+
+
+def assert_workload_validates(txs):
+    """Every generated workload must apply cleanly to a fresh state."""
+    state = WorldState()
+    contracts = {tx.contract for tx in txs if tx.contract}
+    for contract in contracts:
+        state.deploy_contract(SmartContract.unconditional(contract, "0xsink"))
+    for tx in txs:
+        state.create_account(tx.sender)
+        state.account(tx.sender).balance = max(
+            state.account(tx.sender).balance, 1_000_000
+        )
+    by_sender: dict[str, list] = {}
+    for tx in txs:
+        by_sender.setdefault(tx.sender, []).append(tx)
+    for sender_txs in by_sender.values():
+        for tx in sorted(sender_txs, key=lambda t: t.nonce):
+            state.apply_transaction(tx)
+
+
+class TestWorkloadBuilder:
+    def test_nonces_increment_per_sender(self):
+        builder = WorkloadBuilder(seed=1)
+        a1 = builder.direct_transfer("0xua", "0xub", fee=1)
+        a2 = builder.direct_transfer("0xua", "0xub", fee=1)
+        b1 = builder.direct_transfer("0xub", "0xua", fee=1)
+        assert (a1.nonce, a2.nonce, b1.nonce) == (0, 1, 0)
+
+    def test_senders_seen(self):
+        builder = WorkloadBuilder(seed=2)
+        builder.direct_transfer("0xua", "0xub", fee=1)
+        assert builder.senders_seen() == ["0xua"]
+
+
+class TestUniformContractWorkload:
+    def test_partition_matches_paper_formula(self):
+        """200/(s+1) transactions per shard with s contracts."""
+        txs = uniform_contract_workload(200, contract_shards=4, seed=3)
+        partition = partition_transactions(txs)
+        assert len(partition.by_shard) == 5
+        assert all(size == 40 for size in partition.shard_sizes.values())
+
+    def test_zero_contracts_all_maxshard(self):
+        txs = uniform_contract_workload(50, contract_shards=0, seed=4)
+        partition = partition_transactions(txs)
+        assert partition.shard_sizes == {MAXSHARD_ID: 50}
+
+    def test_validates_against_state(self):
+        assert_workload_validates(uniform_contract_workload(60, 3, seed=5))
+
+    def test_validation_errors(self):
+        with pytest.raises(WorkloadError):
+            uniform_contract_workload(-1, 1)
+        with pytest.raises(WorkloadError):
+            uniform_contract_workload(1, -1)
+
+
+class TestSmallShardWorkload:
+    def test_intended_sizes_realized(self):
+        txs, sizes = small_shard_workload(
+            200, shard_count=9, small_shard_sizes=[3, 5], seed=6
+        )
+        partition = partition_transactions(txs)
+        for shard_index, size in sizes.items():
+            assert partition.shard_sizes[shard_index] == size
+        assert sum(sizes.values()) == 200
+
+    def test_small_then_regular_ordering(self):
+        __, sizes = small_shard_workload(200, 9, [1, 2, 3], seed=7)
+        assert sizes[1] == 1 and sizes[2] == 2 and sizes[3] == 3
+        assert all(sizes[i] > 20 for i in range(4, 10))
+
+    def test_too_many_small_shards_rejected(self):
+        with pytest.raises(WorkloadError):
+            small_shard_workload(200, 2, [1, 2], seed=8)
+
+    def test_oversized_small_shards_rejected(self):
+        with pytest.raises(WorkloadError):
+            small_shard_workload(10, 9, [9, 9], seed=9)
+
+    def test_validates_against_state(self):
+        txs, __ = small_shard_workload(100, 9, [2, 4], seed=10)
+        assert_workload_validates(txs)
+
+
+class TestThreeInputWorkload:
+    def test_input_count(self):
+        txs = three_input_workload(20, inputs=3, seed=11)
+        assert all(len(tx.input_accounts) == 3 for tx in txs)
+
+    def test_all_maxshard(self):
+        txs = three_input_workload(50, seed=12)
+        partition = partition_transactions(txs)
+        assert partition.shard_sizes == {MAXSHARD_ID: 50}
+
+    def test_configurable_inputs(self):
+        txs = three_input_workload(5, inputs=5, seed=13)
+        assert all(len(tx.input_accounts) == 5 for tx in txs)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            three_input_workload(1, inputs=0)
+
+
+class TestSingleShardWorkload:
+    def test_single_contract(self):
+        txs = single_shard_workload(30, seed=14)
+        assert len({tx.contract for tx in txs}) == 1
+
+    def test_explicit_fees(self):
+        txs = single_shard_workload(3, fees=[7, 8, 9], seed=15)
+        assert [tx.fee for tx in txs] == [7, 8, 9]
+
+    def test_fee_length_checked(self):
+        with pytest.raises(WorkloadError):
+            single_shard_workload(3, fees=[1], seed=16)
+
+    def test_lands_in_one_shard(self):
+        txs = single_shard_workload(30, seed=17)
+        partition = partition_transactions(txs)
+        non_empty = [s for s, size in partition.shard_sizes.items() if size]
+        assert len(non_empty) == 1
