@@ -59,6 +59,15 @@ from repro.core import (
     verify_membership,
 )
 from repro.core.merging import ShardPlayer
+from repro.faults import (
+    CrashEvent,
+    FaultModel,
+    FaultPlan,
+    FaultStats,
+    FaultyLeader,
+    MessageFaults,
+    Partition,
+)
 from repro.baselines import (
     ChainSpaceModel,
     RandomizedMerging,
@@ -120,6 +129,14 @@ __all__ = [
     "EpochManager",
     "EpochPlan",
     "security",
+    # faults
+    "CrashEvent",
+    "FaultModel",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyLeader",
+    "MessageFaults",
+    "Partition",
     # baselines
     "run_ethereum",
     "ChainSpaceModel",

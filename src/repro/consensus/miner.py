@@ -61,6 +61,15 @@ class HonestBehavior(MinerBehavior):
         return mempool.select_by_fee(capacity)
 
 
+class SoloFallbackBehavior(HonestBehavior):
+    """Fee-greedy packing adopted after a leader-silence timeout.
+
+    Behaviorally identical to :class:`HonestBehavior`; the distinct type
+    lets tests and observability tell a deliberate degradation (the shard
+    kept confirming without a unification packet) from the default.
+    """
+
+
 class AssignedSelectionBehavior(MinerBehavior):
     """Packs exactly the transaction set the selection game assigned.
 

@@ -105,14 +105,17 @@ class Scheduler:
     ) -> float:
         """Drain the queue; returns the final clock value.
 
-        ``until`` caps simulated time (the clock is advanced to it);
-        ``stop_condition`` is re-evaluated after every event;
+        ``until`` caps simulated time (the clock is advanced to it when
+        the queue drains without the stop condition firing);
+        ``stop_condition`` is re-evaluated after every event — when it
+        fires the clock stays at the stopping event's time, so callers
+        can read ``now`` as the actual completion time;
         ``max_events`` is a runaway-loop guard.
         """
         fired = 0
         while True:
             if stop_condition is not None and stop_condition():
-                break
+                return self._now
             next_time = self._queue.peek_time()
             if next_time is None:
                 break

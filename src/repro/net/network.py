@@ -12,6 +12,7 @@ from repro.net.events import Scheduler
 from repro.net.messages import Message, MessageKind
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.model import FaultModel
     from repro.net.node import Node
 
 
@@ -41,6 +42,12 @@ class Network:
     :attr:`MessageKind.is_cross_shard`) increments the counter of the
     shard(s) involved — the per-shard "communication times" the paper
     plots in Fig. 4(b) and 4(c).
+
+    An optional :class:`~repro.faults.model.FaultModel` filters every
+    send and delivery (drops, duplicates, delay spikes, partitions,
+    crashed endpoints). The fault model owns its own RNG, so omitting it
+    or installing a no-op plan leaves the latency stream — and therefore
+    the whole run — bit-identical.
     """
 
     def __init__(
@@ -48,15 +55,21 @@ class Network:
         scheduler: Scheduler,
         latency: LatencyModel | None = None,
         seed: int | None = None,
+        faults: "FaultModel | None" = None,
     ) -> None:
         self._scheduler = scheduler
         self._latency = latency or LatencyModel()
         self._rng = random.Random(seed)
+        self._faults = faults
         self._nodes: dict[str, "Node"] = {}
         self.messages_delivered = 0
         self.cross_shard_messages = 0
         self.per_shard_messages: dict[int, int] = defaultdict(int)
         self.per_kind_messages: dict[MessageKind, int] = defaultdict(int)
+
+    @property
+    def faults(self) -> "FaultModel | None":
+        return self._faults
 
     # ------------------------------------------------------------------
     # membership
@@ -79,18 +92,39 @@ class Network:
     # ------------------------------------------------------------------
     # delivery
     # ------------------------------------------------------------------
-    def send(self, message: Message) -> None:
-        """Deliver one message after a sampled latency."""
+    def send(self, message: Message) -> bool:
+        """Deliver one message after a sampled latency.
+
+        Returns True when a delivery was scheduled, False when the fault
+        layer swallowed the send (drop, partition, crashed sender).
+        """
         target = self.node(message.recipient)
         delay = self._latency.sample(self._rng)
+        if self._faults is not None:
+            decision = self._faults.filter_send(message, self._scheduler.now)
+            if decision.dropped:
+                return False
+            delay += decision.extra_delay
+            if decision.duplicated:
+                self._scheduler.schedule_in(
+                    delay + decision.duplicate_delay,
+                    lambda: self._deliver(target, message),
+                )
         self._scheduler.schedule_in(delay, lambda: self._deliver(target, message))
+        return True
 
     def broadcast(self, message_kind: MessageKind, sender: str, payload: object,
                   shard_id: int | None = None) -> int:
-        """Send a payload to every node except the sender; returns fan-out."""
-        recipients = [nid for nid in self._nodes if nid != sender]
-        for recipient in recipients:
-            self.send(
+        """Send a payload to every node except the sender.
+
+        Returns the number of sends actually scheduled (the fault layer
+        may swallow some).
+        """
+        sent = 0
+        for recipient in self._nodes:
+            if recipient == sender:
+                continue
+            sent += self.send(
                 Message(
                     kind=message_kind,
                     sender=sender,
@@ -99,15 +133,19 @@ class Network:
                     shard_id=shard_id,
                 )
             )
-        return len(recipients)
+        return sent
 
     def multicast(self, message_kind: MessageKind, sender: str, payload: object,
                   recipients: list[str], shard_id: int | None = None) -> int:
-        """Send a payload to an explicit recipient list."""
+        """Send a payload to an explicit recipient list; returns sends made.
+
+        The sender is skipped and does not count toward the fan-out.
+        """
+        sent = 0
         for recipient in recipients:
             if recipient == sender:
                 continue
-            self.send(
+            sent += self.send(
                 Message(
                     kind=message_kind,
                     sender=sender,
@@ -116,9 +154,13 @@ class Network:
                     shard_id=shard_id,
                 )
             )
-        return len(recipients)
+        return sent
 
     def _deliver(self, target: "Node", message: Message) -> None:
+        if self._faults is not None and not self._faults.filter_delivery(
+            message, self._scheduler.now
+        ):
+            return
         self.messages_delivered += 1
         self.per_kind_messages[message.kind] += 1
         if message.kind.is_cross_shard:

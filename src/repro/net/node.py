@@ -23,7 +23,12 @@ from repro.chain.mempool import Mempool
 from repro.chain.state import WorldState
 from repro.chain.transaction import Transaction
 from repro.chain.validation import BlockValidator, BlockVerdict
-from repro.consensus.miner import HonestBehavior, MinerBehavior, MinerIdentity
+from repro.consensus.miner import (
+    HonestBehavior,
+    MinerBehavior,
+    MinerIdentity,
+    SoloFallbackBehavior,
+)
 from repro.errors import LedgerError
 from repro.net.messages import Message, MessageKind
 
@@ -54,10 +59,19 @@ class NodeStats:
     blocks_foreign: int = 0
     blocks_rejected: int = 0
     rejection_reasons: list[str] = field(default_factory=list)
+    # failure-hardening counters
+    orphans_buffered: int = 0
+    orphans_connected: int = 0
+    packets_accepted: int = 0
+    packets_rejected: int = 0
+    leader_fallbacks: int = 0
 
 
 class FullNode(Node):
     """One miner's complete local view and protocol behavior."""
+
+    #: Cap on buffered out-of-order blocks (drop-oldest beyond this).
+    MAX_ORPHANS = 64
 
     def __init__(
         self,
@@ -68,13 +82,18 @@ class FullNode(Node):
         behavior: MinerBehavior | None = None,
         state: WorldState | None = None,
         selection_replay: object | None = None,
+        packet_commitment: str | None = None,
     ) -> None:
         self.identity = identity
         self.shard_id = shard_id
+        self._behavior_overridden = behavior is not None
         self.behavior = behavior or HonestBehavior()
         self.mempool = Mempool()
         self.ledger = Ledger(shard_id=shard_id)
         self.state = state if state is not None else WorldState()
+        # Pre-genesis snapshot: the base for rebuilding the flat state
+        # whenever a reorg rewrites the canonical history.
+        self._pristine_state = self.state.snapshot()
         self.callgraph = CallGraph()
         self.stats = NodeStats()
         self._tx_classifier = tx_classifier
@@ -85,6 +104,14 @@ class FullNode(Node):
         # that deviate from the unified transaction selection are rejected
         # exactly like shard-membership liars.
         self._selection_replay = selection_replay
+        # The publicly known digest of the canonical unification packet;
+        # leader broadcasts whose digest mismatches it are rejected.
+        self._packet_commitment = packet_commitment
+        # Blocks whose parent has not arrived yet, keyed by parent hash.
+        # Delay spikes and duplicate/drop races reorder gossip; buffering
+        # lets the chain heal once the missing parent shows up.
+        self._orphans: dict[str, list[Block]] = {}
+        self._orphan_count = 0
 
     # ------------------------------------------------------------------
     # Node protocol
@@ -98,8 +125,10 @@ class FullNode(Node):
             self.on_transaction(message.payload)
         elif message.kind is MessageKind.BLOCK:
             self.on_block(message.payload)
-        # Other kinds (leader broadcasts etc.) are consumed by the
-        # coordinator layer; a bare full node ignores them.
+        elif message.kind is MessageKind.LEADER_BROADCAST:
+            self.on_unification_packet(message.payload)
+        # Other kinds (stat reports etc.) are consumed by the coordinator
+        # layer; a bare full node ignores them.
 
     # ------------------------------------------------------------------
     # transaction path
@@ -143,15 +172,128 @@ class FullNode(Node):
         return verdict
 
     def _record_block(self, block: Block) -> None:
+        if self.ledger.knows(block.block_hash):
+            # Duplicate (gossip redundancy): drop silently.
+            return
+        if not self.ledger.knows(block.header.parent_hash):
+            # Out-of-order arrival (delay spike, dropped-then-retransmitted
+            # parent): hold the block until its parent connects.
+            self._buffer_orphan(block)
+            return
+        old_head = self.ledger.head_hash
         try:
             self.ledger.add_block(block)
         except LedgerError:
-            # Duplicate or orphan (e.g. lost a fork race we never saw the
-            # parent of): drop silently, as gossip protocols do.
             return
-        self.state.apply_block_body(block.transactions, miner=block.header.miner)
-        self.mempool.remove_confirmed({tx.tx_id for tx in block.transactions})
+        new_head = self.ledger.head_hash
+        if new_head == block.block_hash and block.header.parent_hash == old_head:
+            # Plain canonical extension: apply incrementally.
+            self.state.apply_block_body(
+                block.transactions, miner=block.header.miner
+            )
+            self.mempool.remove_confirmed(
+                {tx.tx_id for tx in block.transactions}
+            )
+        elif new_head != old_head:
+            self._rebuild_canonical_state()
+        # A side-branch block leaves the state untouched: the flat state
+        # tracks the canonical chain only, otherwise transactions confirmed
+        # on a losing branch would poison sender nonces and never mine.
         self.stats.blocks_recorded += 1
+        self._connect_orphans(block.block_hash)
+
+    def _rebuild_canonical_state(self) -> None:
+        """Re-derive the world state from the canonical chain after a reorg."""
+        state = self._pristine_state.snapshot()
+        confirmed: set[str] = set()
+        for canonical in self.ledger.canonical_chain():
+            if not canonical.transactions:
+                continue
+            state.apply_block_body(
+                canonical.transactions, miner=canonical.header.miner
+            )
+            confirmed.update(tx.tx_id for tx in canonical.transactions)
+        self.state = state
+        self.mempool.remove_confirmed(confirmed)
+
+    def _buffer_orphan(self, block: Block) -> None:
+        parent = block.header.parent_hash
+        siblings = self._orphans.get(parent, [])
+        if any(b.block_hash == block.block_hash for b in siblings):
+            return
+        if self._orphan_count >= self.MAX_ORPHANS:
+            # Evict the oldest buffered parent group to stay bounded.
+            oldest_parent = next(iter(self._orphans))
+            self._orphan_count -= len(self._orphans.pop(oldest_parent))
+        self._orphans.setdefault(parent, []).append(block)
+        self._orphan_count += 1
+        self.stats.orphans_buffered += 1
+
+    def _connect_orphans(self, parent_hash: str) -> None:
+        children = self._orphans.pop(parent_hash, None)
+        if not children:
+            return
+        self._orphan_count -= len(children)
+        for child in children:
+            self.stats.orphans_connected += 1
+            self._record_block(child)
+
+    # ------------------------------------------------------------------
+    # unification-packet path (leader broadcast, Sec. IV-C hardened)
+    # ------------------------------------------------------------------
+    def on_unification_packet(self, packet) -> bool:
+        """Verify and install a leader-broadcast unification packet.
+
+        The packet digest must match the publicly known commitment; a
+        mismatch (tampered relay, equivocating leader) is rejected and
+        counted. On acceptance the node builds the local replay and — if
+        the selection game assigned it a transaction set — adopts the
+        game-assigned packing behavior.
+        """
+        from repro.core.unification import UnifiedReplay
+
+        if (
+            self._packet_commitment is not None
+            and packet.digest() != self._packet_commitment
+        ):
+            self.stats.packets_rejected += 1
+            return False
+        self.stats.packets_accepted += 1
+        if self._selection_replay is not None:
+            # Retransmitted duplicate of an already-installed packet.
+            return True
+        replay = UnifiedReplay(packet)
+        self._selection_replay = replay
+        if not self._behavior_overridden:
+            from repro.consensus.miner import AssignedSelectionBehavior
+            from repro.errors import UnificationError
+
+            try:
+                assigned = replay.assigned_tx_ids(self.shard_id, self.node_id)
+            except UnificationError:
+                # Solo or empty shard: no game ran, keep fee-greedy packing.
+                return True
+            self.behavior = AssignedSelectionBehavior(list(assigned))
+        return True
+
+    @property
+    def has_unified_replay(self) -> bool:
+        return self._selection_replay is not None
+
+    def fallback_to_solo(self) -> bool:
+        """Leader-silence fallback: mine un-unified rather than stall.
+
+        Called when the leader's packet has not arrived by the timeout.
+        The node reverts to solo fee-greedy selection (and stops
+        expecting a unified replay), so its shard keeps confirming.
+        Returns True when the node actually fell back.
+        """
+        if self._selection_replay is not None:
+            return False
+        if not self._behavior_overridden:
+            self.behavior = SoloFallbackBehavior()
+        self.stats.leader_fallbacks += 1
+        return True
 
     # ------------------------------------------------------------------
     # mining path

@@ -12,6 +12,7 @@ rejected — the integration surface the security tests exercise.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 
@@ -25,15 +26,46 @@ from repro.consensus.rewards import RewardLedger
 from repro.core.miner_assignment import MinerAssignment, assign_miners
 from repro.core.shard_formation import ShardMap, form_shards
 from repro.errors import SimulationError
+from repro.faults.model import FaultModel
+from repro.faults.plan import FaultPlan, FaultStats
 from repro.net.events import Scheduler
-from repro.net.messages import MessageKind
+from repro.net.messages import Message, MessageKind
 from repro.net.network import LatencyModel, Network
 from repro.net.node import FullNode
+
+#: Mixed into the run seed so the fault RNG stream never mirrors the
+#: network's latency stream (both are seeded from ``config.seed``).
+_FAULT_SEED_SALT = 0xFA017
 
 
 @dataclass(frozen=True)
 class ProtocolConfig:
-    """Configuration of a full-node protocol run."""
+    """Configuration of a full-node protocol run.
+
+    The failure-handling knobs are inert by default: with
+    ``fault_plan=None`` (or an all-zero :class:`FaultPlan`) a run is
+    bit-identical to one on the pre-fault-layer code path.
+
+    Parameters
+    ----------
+    fault_plan:
+        What goes wrong (message loss, crashes, partitions, a faulty
+        leader). ``None`` or a no-op plan disables the whole layer.
+    retransmit_interval:
+        Period of the retransmission sweep that re-announces unconfirmed
+        transactions, re-gossips chain tips, and re-sends the leader's
+        unification packet to nodes that missed it. ``None`` disables
+        retransmission (only sensible for fault-free runs).
+    retransmit_blocks:
+        How many canonical tip blocks each node re-gossips per sweep.
+    leader_broadcast_delay:
+        When (seconds into the run) the leader broadcasts the
+        unification packet, in runs that distribute it over the network.
+    leader_timeout:
+        Leader-silence deadline: a node without a verified unification
+        packet by this time falls back to solo (un-unified) mining so
+        its shard keeps confirming instead of stalling.
+    """
 
     pow_params: PoWParameters = field(default_factory=PoWParameters.one_block_per_minute)
     block_capacity: int = 10
@@ -41,6 +73,11 @@ class ProtocolConfig:
     seed: int = 0
     max_duration: float = 100_000.0
     initial_balance: int = 1_000_000
+    fault_plan: FaultPlan | None = None
+    retransmit_interval: float | None = None
+    retransmit_blocks: int = 4
+    leader_broadcast_delay: float = 0.0
+    leader_timeout: float = 10.0
 
 
 @dataclass
@@ -53,6 +90,13 @@ class ProtocolResult:
     rejection_reasons: list[str]
     per_shard_confirmed: dict[int, int]
     rewards: RewardLedger = field(default_factory=RewardLedger)
+    # Failure handling: what the fault layer injected and how the
+    # protocol degraded. All zero on fault-free runs.
+    drops: int = 0
+    retransmissions: int = 0
+    fallbacks: int = 0
+    equivocations_detected: int = 0
+    fault_stats: FaultStats = field(default_factory=FaultStats)
 
     def confirmed_count(self) -> int:
         return len(self.confirmed_tx_ids)
@@ -79,6 +123,17 @@ class ProtocolSimulation:
         self._transactions = list(transactions)
         self._behaviors = behaviors or {}
 
+        # Fault layer: a no-op plan must leave the run bit-identical, so
+        # the model (with its dedicated RNG) only changes behavior when
+        # the plan actually injects something.
+        plan = self._config.fault_plan
+        self._fault_model = (
+            FaultModel(plan, seed=self._config.seed ^ _FAULT_SEED_SALT)
+            if plan is not None
+            else None
+        )
+        self._faults_active = plan is not None and plan.is_active
+
         # Shard topology from the workload; MaxShard-style global view for
         # routing (every node classifies with the same call graph).
         self._shard_map, self._callgraph = form_shards(transactions)
@@ -90,11 +145,21 @@ class ProtocolSimulation:
         # Full Sec. IV-C mode: build the leader's unification packet, give
         # every multi-miner shard's members their game-assigned sets, and
         # install the local replay so deviations are rejected on receive.
+        # Under an active fault plan the packet is *not* pre-installed:
+        # the leader broadcasts it over the (lossy) network at run time
+        # and nodes verify its digest against the public commitment.
+        self._unified = unified
         self._replay = self._build_unified_replay() if unified else None
+        self._packet = self._replay.packet if self._replay is not None else None
+        self._commitment = self._packet.digest() if self._packet is not None else None
+        self._distribute_packet = unified and self._faults_active
 
         self._scheduler = Scheduler()
         self._network = Network(
-            self._scheduler, latency=self._config.latency, seed=self._config.seed
+            self._scheduler,
+            latency=self._config.latency,
+            seed=self._config.seed,
+            faults=self._fault_model,
         )
         self._rewards = RewardLedger(policy=FeePolicy())
         self._nodes: dict[str, FullNode] = {}
@@ -112,9 +177,11 @@ class ProtocolSimulation:
         )
         fractions = partition.fractions()
         # Every shard id needs a positive fraction for the draw intervals;
-        # give empty shards a minimal epsilon share of miners.
+        # give empty shards a minimal epsilon share of miners while
+        # leaving populated shards' weights proportional to their load.
+        epsilon = 0.01
         return {
-            shard: max(frac, 0.5) for shard, frac in fractions.items()
+            shard: max(frac, epsilon) for shard, frac in fractions.items()
         }
 
     def _build_unified_replay(self):
@@ -187,7 +254,7 @@ class ProtocolSimulation:
                 account.balance = self._config.initial_balance
             self._seed_contracts(state)
             behavior = self._behaviors.get(miner.public)
-            if behavior is None:
+            if behavior is None and not self._distribute_packet:
                 behavior = self._unified_behavior(miner.public, shard)
             node = FullNode(
                 identity=miner,
@@ -196,7 +263,10 @@ class ProtocolSimulation:
                 tx_classifier=classifier,
                 behavior=behavior,
                 state=state,
-                selection_replay=self._replay,
+                selection_replay=(
+                    None if self._distribute_packet else self._replay
+                ),
+                packet_commitment=self._commitment,
             )
             self._network.register(node)
             self._nodes[miner.public] = node
@@ -240,10 +310,32 @@ class ProtocolSimulation:
     # ------------------------------------------------------------------
     def run(self) -> ProtocolResult:
         """Inject the workload, mine until it drains, report the outcome."""
-        # Users broadcast transactions at t=0 (the paper injects up front).
-        for tx in self._transactions:
-            for node in self._nodes.values():
-                node.on_transaction(tx)
+        if self._faults_active:
+            # Under faults transactions travel the lossy network: each is
+            # announced by its (off-network) user and can be lost.
+            for tx in self._transactions:
+                self._network.broadcast(
+                    MessageKind.TX, sender=f"user:{tx.sender}", payload=tx
+                )
+        else:
+            # Fault-free fast path: hand every node the workload directly
+            # at t=0 (the paper injects up front).
+            for tx in self._transactions:
+                for node in self._nodes.values():
+                    node.on_transaction(tx)
+
+        if self._distribute_packet:
+            self._scheduler.schedule_in(
+                self._config.leader_broadcast_delay, self._broadcast_packet
+            )
+            self._scheduler.schedule_in(
+                self._config.leader_timeout, self._leader_timeout_check
+            )
+
+        if self._faults_active and self._config.retransmit_interval is not None:
+            self._scheduler.schedule_in(
+                self._config.retransmit_interval, self._retransmit_sweep
+            )
 
         for public in self._nodes:
             self._schedule_mining(public)
@@ -263,6 +355,15 @@ class ProtocolSimulation:
             for node in self._nodes.values()
             for reason in node.stats.rejection_reasons
         ]
+        stats = (
+            self._fault_model.stats if self._fault_model is not None else FaultStats()
+        )
+        stats.fallbacks = sum(
+            n.stats.leader_fallbacks for n in self._nodes.values()
+        )
+        stats.equivocations_detected = sum(
+            n.stats.packets_rejected for n in self._nodes.values()
+        )
         return ProtocolResult(
             duration=self._scheduler.now,
             confirmed_tx_ids=confirmed,
@@ -270,7 +371,122 @@ class ProtocolSimulation:
             rejection_reasons=reasons,
             per_shard_confirmed=self._per_shard_confirmed(),
             rewards=self._rewards,
+            drops=stats.messages_lost,
+            retransmissions=stats.retransmissions,
+            fallbacks=stats.fallbacks,
+            equivocations_detected=stats.equivocations_detected,
+            fault_stats=stats,
         )
+
+    # ------------------------------------------------------------------
+    # failure handling: leader distribution, retransmission, fallback
+    # ------------------------------------------------------------------
+    def _broadcast_packet(self) -> None:
+        """The leader distributes the unification packet (or deviates)."""
+        leader = self._assignment.leader_public
+        fault = self._config.fault_plan.leader if self._config.fault_plan else None
+        if fault is not None and fault.withholds:
+            # Leader silence: nobody receives anything; honest miners hit
+            # the timeout below and fall back to solo mining.
+            return
+        if fault is not None and fault.equivocates:
+            # The leader keeps the canonical packet for herself but sends
+            # everyone else a tampered variant whose digest cannot match
+            # the public commitment.
+            tampered = dataclasses.replace(
+                self._packet, randomness=self._packet.randomness + "#equivocation"
+            )
+            if leader in self._nodes:
+                self._nodes[leader].on_unification_packet(self._packet)
+            self._network.multicast(
+                MessageKind.LEADER_BROADCAST,
+                sender=leader,
+                payload=tampered,
+                recipients=self._network.node_ids,
+            )
+            return
+        if leader in self._nodes:
+            self._nodes[leader].on_unification_packet(self._packet)
+        self._network.multicast(
+            MessageKind.LEADER_BROADCAST,
+            sender=leader,
+            payload=self._packet,
+            recipients=self._network.node_ids,
+        )
+
+    def _leader_timeout_check(self) -> None:
+        """Leader-silence deadline: un-unified fallback instead of stalling."""
+        for node in self._nodes.values():
+            node.fallback_to_solo()
+
+    def _node_crashed(self, public: str) -> bool:
+        return self._fault_model is not None and self._fault_model.crashed(
+            public, self._scheduler.now
+        )
+
+    def _retransmit_sweep(self) -> None:
+        """Periodic timeout-driven retransmission of lost traffic.
+
+        Three repairs per sweep: users re-announce still-unconfirmed
+        transactions, live nodes re-gossip their canonical tip blocks
+        (healing dropped block gossip through the orphan buffer), and an
+        honest leader re-sends the unification packet to nodes that have
+        neither installed nor given up on it.
+        """
+        confirmed = self._confirmed_ids()
+        for tx in self._transactions:
+            if tx.tx_id in confirmed:
+                continue
+            sent = self._network.broadcast(
+                MessageKind.TX, sender=f"user:{tx.sender}", payload=tx
+            )
+            if sent:
+                self._fault_model.note_retransmission()
+        for public, node in self._nodes.items():
+            if self._node_crashed(public):
+                continue
+            tip = node.ledger.canonical_chain()[-self._config.retransmit_blocks:]
+            for block in tip:
+                if block.header.height == 0:
+                    continue
+                sent = self._network.broadcast(
+                    MessageKind.BLOCK, sender=public, payload=block
+                )
+                if sent:
+                    self._fault_model.note_retransmission()
+        self._retransmit_packet()
+        if self._scheduler.now + self._config.retransmit_interval <= (
+            self._config.max_duration
+        ):
+            self._scheduler.schedule_in(
+                self._config.retransmit_interval, self._retransmit_sweep
+            )
+
+    def _retransmit_packet(self) -> None:
+        """An honest, live leader re-sends the packet to uncovered nodes."""
+        if not self._distribute_packet:
+            return
+        fault = self._config.fault_plan.leader if self._config.fault_plan else None
+        if fault is not None:
+            return  # a faulty leader does not helpfully retransmit
+        leader = self._assignment.leader_public
+        if self._node_crashed(leader):
+            return
+        for public, node in self._nodes.items():
+            if public == leader or node.has_unified_replay:
+                continue
+            if node.stats.leader_fallbacks > 0:
+                continue  # already degraded to solo mining
+            sent = self._network.send(
+                Message(
+                    kind=MessageKind.LEADER_BROADCAST,
+                    sender=leader,
+                    recipient=public,
+                    payload=self._packet,
+                )
+            )
+            if sent:
+                self._fault_model.note_retransmission()
 
     def _schedule_mining(self, public: str) -> None:
         delay = self._mining[public].next_block_time()
@@ -278,6 +494,19 @@ class ProtocolSimulation:
 
     def _mine(self, public: str) -> None:
         node = self._nodes[public]
+        if self._node_crashed(public):
+            # Crash-aware schedule: a dead miner skips the slot; PoW is
+            # memoryless so a fresh draw on recovery is exact.
+            self._schedule_mining(public)
+            return
+        if self._distribute_packet and not (
+            node.has_unified_replay or node.stats.leader_fallbacks > 0
+        ):
+            # Unified epochs start from the leader's parameters: without a
+            # verified packet (and before the fallback deadline) the miner
+            # idles instead of guessing a selection.
+            self._schedule_mining(public)
+            return
         block = node.forge_block(
             timestamp=self._scheduler.now, capacity=self._config.block_capacity
         )

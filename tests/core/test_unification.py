@@ -1,5 +1,7 @@
 """Tests for repro.core.unification (Sec. IV-C)."""
 
+import dataclasses
+
 import pytest
 
 from repro.chain.block import Block
@@ -68,6 +70,86 @@ class TestPacket:
             ShardSelectionInput(
                 shard_id=1, tx_ids=("a",), fees=(1.0, 2.0), miners=("pk",)
             )
+
+
+def _bump_fee(packet):
+    shard_input = packet.selection_inputs[0]
+    fees = (shard_input.fees[0] + 1.0,) + shard_input.fees[1:]
+    return dataclasses.replace(
+        packet,
+        selection_inputs=(dataclasses.replace(shard_input, fees=fees),),
+    )
+
+
+def _swap_miner_order(packet):
+    shard_input = packet.selection_inputs[0]
+    miners = (shard_input.miners[1], shard_input.miners[0]) + shard_input.miners[2:]
+    return dataclasses.replace(
+        packet,
+        selection_inputs=(dataclasses.replace(shard_input, miners=miners),),
+    )
+
+
+def _set_initial_profile(packet):
+    shard_input = packet.selection_inputs[0]
+    profile = tuple((i,) for i in range(len(shard_input.miners)))
+    return dataclasses.replace(
+        packet,
+        selection_inputs=(
+            dataclasses.replace(shard_input, initial_profile=profile),
+        ),
+    )
+
+
+def _drop_tx(packet):
+    shard_input = packet.selection_inputs[0]
+    return dataclasses.replace(
+        packet,
+        selection_inputs=(
+            dataclasses.replace(
+                shard_input,
+                tx_ids=shard_input.tx_ids[1:],
+                fees=shard_input.fees[1:],
+            ),
+        ),
+    )
+
+
+TAMPERINGS = {
+    "epoch_seed": lambda p: dataclasses.replace(p, epoch_seed="epoch-2"),
+    "leader_public": lambda p: dataclasses.replace(p, leader_public="pk-usurper"),
+    "randomness": lambda p: dataclasses.replace(p, randomness="s" * 64),
+    "merge_players": lambda p: dataclasses.replace(
+        p, merge_players=p.merge_players[:-1]
+    ),
+    "merge_config": lambda p: dataclasses.replace(
+        p, merge_config=MergingGameConfig(shard_reward=99.0, lower_bound=10)
+    ),
+    "merge_initial": lambda p: dataclasses.replace(p, merge_initial=(0.5, 0.5)),
+    "selection_fees": _bump_fee,
+    "selection_miner_order": _swap_miner_order,
+    "selection_initial_profile": _set_initial_profile,
+    "selection_tx_ids": _drop_tx,
+    "selection_config": lambda p: dataclasses.replace(
+        p, selection_config=SelectionGameConfig(capacity=9)
+    ),
+}
+
+
+class TestDigestTamperDetection:
+    """Every field of the packet is bound by the digest commitment."""
+
+    @pytest.mark.parametrize("field", sorted(TAMPERINGS))
+    def test_mutation_changes_digest(self, field):
+        packet, __ = make_packet()
+        tampered = TAMPERINGS[field](packet)
+        assert tampered != packet
+        assert tampered.digest() != packet.digest()
+
+    def test_tamperings_produce_pairwise_distinct_digests(self):
+        packet, __ = make_packet()
+        digests = {TAMPERINGS[field](packet).digest() for field in TAMPERINGS}
+        assert len(digests) == len(TAMPERINGS)
 
     def test_initial_profile_coverage_checked(self):
         with pytest.raises(UnificationError):

@@ -81,6 +81,20 @@ class TestDelivery:
         assert nodes[2].received == []
         assert len(nodes[3].received) == 1
 
+    def test_multicast_fanout_excludes_skipped_sender(self):
+        __, network, __nodes = make_net(4)
+        # The sender appears in the recipient list but is skipped, so the
+        # reported fan-out must count only the messages actually sent.
+        sent = network.multicast(
+            MessageKind.TX, "n0", "p", recipients=["n0", "n1", "n3"]
+        )
+        assert sent == 2
+
+    def test_multicast_fanout_counts_all_when_sender_absent(self):
+        __, network, __nodes = make_net(4)
+        sent = network.multicast(MessageKind.TX, "n0", "p", recipients=["n1", "n2"])
+        assert sent == 2
+
     def test_unknown_recipient(self):
         __, network, __nodes = make_net()
         with pytest.raises(NetworkError):

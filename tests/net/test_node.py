@@ -17,8 +17,9 @@ def classifier(tx):
     return MAXSHARD_ID
 
 
-def make_node(shard=1, membership=None, behavior=None, balance=1_000):
-    identity = MinerIdentity.create(f"node-shard{shard}")
+def make_node(shard=1, membership=None, behavior=None, balance=1_000,
+              packet_commitment=None, name=None):
+    identity = MinerIdentity.create(name or f"node-shard{shard}")
     state = WorldState()
     state.create_account("0xualice", balance=balance)
     from repro.chain.contract import SmartContract
@@ -31,6 +32,7 @@ def make_node(shard=1, membership=None, behavior=None, balance=1_000):
         tx_classifier=classifier,
         behavior=behavior,
         state=state,
+        packet_commitment=packet_commitment,
     )
 
 
@@ -215,3 +217,144 @@ class TestBlockPath:
         receiver.on_block(block)
         receiver.on_block(block)  # no raise; gossip duplicates are normal
         assert receiver.stats.blocks_recorded >= 1
+
+
+class TestOrphanBuffering:
+    """Out-of-order block arrivals heal instead of being dropped."""
+
+    def _chain_of(self, packer, length):
+        blocks = []
+        for i in range(length):
+            block = packer.forge_block(timestamp=float(i + 1), capacity=10)
+            packer.adopt_block(block)
+            blocks.append(block)
+        return blocks
+
+    def test_reordered_blocks_reconnect(self):
+        packer, receiver = make_node(shard=1), make_node(shard=1)
+        first, second = self._chain_of(packer, 2)
+        receiver.on_block(second)  # child before parent
+        assert receiver.ledger.height == 0
+        assert receiver.stats.orphans_buffered == 1
+        receiver.on_block(first)
+        assert receiver.ledger.height == 2
+        assert receiver.stats.orphans_connected == 1
+        assert receiver.stats.blocks_recorded == 2
+
+    def test_deep_reorder_recovers_whole_chain(self):
+        packer, receiver = make_node(shard=1), make_node(shard=1)
+        blocks = self._chain_of(packer, 4)
+        for block in reversed(blocks):
+            receiver.on_block(block)
+        assert receiver.ledger.height == 4
+        assert receiver.stats.orphans_buffered == 3
+        assert receiver.stats.orphans_connected == 3
+
+    def test_duplicate_orphan_buffered_once(self):
+        packer, receiver = make_node(shard=1), make_node(shard=1)
+        first, second = self._chain_of(packer, 2)
+        receiver.on_block(second)
+        receiver.on_block(second)
+        assert receiver.stats.orphans_buffered == 1
+        receiver.on_block(first)
+        assert receiver.ledger.height == 2
+
+    def test_orphan_buffer_bounded(self):
+        packer, receiver = make_node(shard=1), make_node(shard=1)
+        blocks = self._chain_of(packer, FullNode.MAX_ORPHANS + 5)
+        for block in blocks[1:]:
+            receiver.on_block(block)
+        assert receiver._orphan_count <= FullNode.MAX_ORPHANS
+
+
+class TestUnificationPacketPath:
+    """Leader-broadcast verification, installation and fallback."""
+
+    def _packet_for(self, node, extra_miner="pk-mate"):
+        from repro.core.selection.congestion_game import SelectionGameConfig
+        from repro.core.unification import ShardSelectionInput, UnificationPacket
+
+        txs = [
+            make_call(f"0xupkt{i}", CONTRACT_A, fee=i + 1, nonce=0)
+            for i in range(4)
+        ]
+        return UnificationPacket(
+            epoch_seed="pkt-epoch",
+            leader_public="pk-leader",
+            randomness="r" * 64,
+            selection_inputs=(
+                ShardSelectionInput(
+                    shard_id=node.shard_id,
+                    tx_ids=tuple(t.tx_id for t in txs),
+                    fees=tuple(float(t.fee) for t in txs),
+                    miners=tuple(sorted((node.node_id, extra_miner))),
+                ),
+            ),
+            selection_config=SelectionGameConfig(capacity=2),
+        )
+
+    def test_valid_packet_installs_replay_and_behavior(self):
+        from repro.consensus.miner import AssignedSelectionBehavior
+
+        node = make_node(shard=1, name="pkt-valid")
+        packet = self._packet_for(node)
+        node._packet_commitment = packet.digest()
+        assert node.on_unification_packet(packet)
+        assert node.has_unified_replay
+        assert node.stats.packets_accepted == 1
+        assert isinstance(node.behavior, AssignedSelectionBehavior)
+
+    def test_tampered_packet_rejected(self):
+        import dataclasses
+
+        node = make_node(shard=1, name="pkt-tamper")
+        packet = self._packet_for(node)
+        node._packet_commitment = packet.digest()
+        tampered = dataclasses.replace(packet, randomness="s" * 64)
+        assert not node.on_unification_packet(tampered)
+        assert not node.has_unified_replay
+        assert node.stats.packets_rejected == 1
+        assert node.stats.packets_accepted == 0
+
+    def test_packet_delivered_via_message(self):
+        node = make_node(shard=1, name="pkt-msg")
+        packet = self._packet_for(node)
+        node._packet_commitment = packet.digest()
+        node.receive(
+            Message(MessageKind.LEADER_BROADCAST, "pk-leader", node.node_id,
+                    payload=packet)
+        )
+        assert node.has_unified_replay
+
+    def test_fallback_then_late_packet_recovers(self):
+        from repro.consensus.miner import (
+            AssignedSelectionBehavior,
+            SoloFallbackBehavior,
+        )
+
+        node = make_node(shard=1, name="pkt-late")
+        packet = self._packet_for(node)
+        node._packet_commitment = packet.digest()
+        assert node.fallback_to_solo()
+        assert isinstance(node.behavior, SoloFallbackBehavior)
+        assert node.stats.leader_fallbacks == 1
+        # The retransmitted packet still installs and upgrades the node.
+        assert node.on_unification_packet(packet)
+        assert isinstance(node.behavior, AssignedSelectionBehavior)
+
+    def test_no_fallback_once_replay_installed(self):
+        node = make_node(shard=1, name="pkt-nofall")
+        packet = self._packet_for(node)
+        node._packet_commitment = packet.digest()
+        node.on_unification_packet(packet)
+        assert not node.fallback_to_solo()
+        assert node.stats.leader_fallbacks == 0
+
+    def test_overridden_behavior_kept_on_install(self):
+        behavior = ShardLiarBehavior(fake_shard=9)
+        node = make_node(shard=1, behavior=behavior, name="pkt-cheat")
+        packet = self._packet_for(node)
+        node._packet_commitment = packet.digest()
+        node.on_unification_packet(packet)
+        assert node.behavior is behavior  # cheater keeps cheating
+        assert node.has_unified_replay  # but can still verify others
