@@ -4,15 +4,91 @@ Each ``bench_*`` module reproduces one table/figure: it runs the full
 experiment, prints the same rows/series the paper reports, persists them
 under ``benchmarks/results/``, and times the experiment kernel with
 pytest-benchmark.
+
+Every bench run additionally emits a machine-readable perf record —
+``benchmarks/results/BENCH_<name>.json`` — carrying wall times, kernel
+timings, and the parallel-vs-serial speedup, so the repo accumulates a
+perf trajectory instead of anecdotes. Committed records are baselines;
+CI uploads fresh ones as artifacts for comparison.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import platform
+import sys
+import time
+from typing import Callable
 
 from repro.experiments import run_experiment
+from repro.experiments.common import clear_experiment_caches
+from repro.runtime import ProcessExecutor, SerialExecutor, use_executor
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Workers used for the parallel leg of every speedup measurement.
+BENCH_WORKERS = 2
+
+
+def bench_environment() -> dict[str, object]:
+    """The context a perf number is meaningless without."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "pid": os.getpid(),
+    }
+
+
+def timed(fn: Callable[[], object], repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def write_bench_record(name: str, payload: dict) -> pathlib.Path:
+    """Persist one perf record as ``BENCH_<name>.json`` and return it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {"bench": name, "environment": bench_environment(), **payload}
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[bench] wrote {path}", file=sys.stderr)
+    return path
+
+
+def measure_experiment_speedup(
+    experiment_id: str, seed: int = 0, repeats: int = 2
+) -> dict[str, object]:
+    """Serial vs. parallel wall time of one experiment's quick kernel.
+
+    Both legs recompute from scratch (experiment-level memo caches are
+    cleared) and produce bit-identical rows — the runtime's determinism
+    contract — so the comparison times identical work.
+    """
+
+    def quick_run():
+        clear_experiment_caches()
+        return run_experiment(experiment_id, quick=True, seed=seed)
+
+    with use_executor(SerialExecutor()):
+        serial_s = timed(quick_run, repeats=repeats)
+    with use_executor(ProcessExecutor(workers=BENCH_WORKERS)):
+        parallel_s = timed(quick_run, repeats=repeats)
+    return {
+        "experiment": experiment_id,
+        "mode": "quick",
+        "workers": BENCH_WORKERS,
+        "wall_serial_s": round(serial_s, 6),
+        "wall_parallel_s": round(parallel_s, 6),
+        "speedup_parallel_vs_serial": round(serial_s / parallel_s, 3),
+    }
 
 
 def reproduce(benchmark, experiment_id: str, seed: int = 0) -> None:
@@ -23,10 +99,18 @@ def reproduce(benchmark, experiment_id: str, seed: int = 0) -> None:
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
     print("\n" + text)
 
+    # The machine-readable perf record: quick-kernel wall time under the
+    # serial and parallel executors (bit-identical outputs by contract).
+    write_bench_record(experiment_id, measure_experiment_speedup(experiment_id, seed))
+
     # The timed kernel is the quick configuration: representative of the
     # computation, small enough to keep the benchmark suite snappy.
+    def quick_kernel():
+        clear_experiment_caches()
+        return run_experiment(experiment_id, quick=True, seed=seed)
+
     benchmark.pedantic(
-        lambda: run_experiment(experiment_id, quick=True, seed=seed),
+        quick_kernel,
         rounds=1,
         iterations=1,
         warmup_rounds=0,

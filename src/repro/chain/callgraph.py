@@ -10,17 +10,24 @@ The graph is bipartite-ish: user nodes connect to the contract nodes they
 have invoked, and to user nodes they have transacted with directly. A
 sender is *single-contract* (shardable) iff her neighbourhood is exactly
 one contract node.
+
+Shard formation asks these questions once per *transaction* while the
+answers only change once per *edge*, so the expensive derivation —
+classification plus the sole-contract lookup — is memoized per sender in
+a :class:`~repro.runtime.cache.MemoCache`. :meth:`CallGraph.observe`
+invalidates exactly the senders whose neighbourhood (or whose node kind,
+which can flip when an address is later seen in the other role) the new
+edge may have changed, so interleaved observe/classify streams — the
+full-node protocol path — stay correct.
 """
 
 from __future__ import annotations
 
 import enum
 
-import networkx as nx
-
 from repro.chain.transaction import Transaction, TransactionKind
+from repro.runtime.cache import MemoCache
 
-_KIND_KEY = "kind"
 _USER = "user"
 _CONTRACT = "contract"
 
@@ -38,20 +45,44 @@ class CallGraph:
     """Tracks which contracts and users each sender has interacted with."""
 
     def __init__(self) -> None:
-        self._graph = nx.Graph()
+        #: node -> current kind; later observations win, matching the
+        #: behavior of attribute overwrites in the original graph store.
+        self._kind: dict[str, str] = {}
+        #: undirected adjacency.
+        self._adjacency: dict[str, set[str]] = {}
+        #: sender -> (classification, sole contract or None).
+        self._analysis: MemoCache[str, tuple[SenderClass, str | None]] = MemoCache()
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _set_kind(self, node: str, kind: str) -> None:
+        previous = self._kind.get(node)
+        if previous == kind:
+            return
+        self._kind[node] = kind
+        self._adjacency.setdefault(node, set())
+        if previous is not None:
+            # The node switched roles; every neighbour's classification
+            # may change (their contract/user neighbourhoods did).
+            for neighbour in self._adjacency[node]:
+                self._analysis.invalidate(neighbour)
+
+    def _add_edge(self, a: str, b: str) -> None:
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        self._analysis.invalidate(a)
+        self._analysis.invalidate(b)
+
     def observe(self, tx: Transaction) -> None:
         """Record one transaction's sender/target edge."""
-        self._graph.add_node(tx.sender, **{_KIND_KEY: _USER})
+        self._set_kind(tx.sender, _USER)
         if tx.kind is TransactionKind.CONTRACT_CALL:
-            self._graph.add_node(tx.contract, **{_KIND_KEY: _CONTRACT})
-            self._graph.add_edge(tx.sender, tx.contract)
+            self._set_kind(tx.contract, _CONTRACT)
+            self._add_edge(tx.sender, tx.contract)
         else:
-            self._graph.add_node(tx.recipient, **{_KIND_KEY: _USER})
-            self._graph.add_edge(tx.sender, tx.recipient)
+            self._set_kind(tx.recipient, _USER)
+            self._add_edge(tx.sender, tx.recipient)
 
     def observe_many(self, txs: list[Transaction]) -> None:
         for tx in txs:
@@ -62,36 +93,40 @@ class CallGraph:
     # ------------------------------------------------------------------
     def contracts_of(self, sender: str) -> set[str]:
         """Contracts the sender has ever invoked."""
-        if sender not in self._graph:
-            return set()
         return {
             peer
-            for peer in self._graph.neighbors(sender)
-            if self._graph.nodes[peer].get(_KIND_KEY) == _CONTRACT
+            for peer in self._adjacency.get(sender, ())
+            if self._kind.get(peer) == _CONTRACT
         }
 
     def direct_peers_of(self, sender: str) -> set[str]:
         """Users the sender has transacted with directly."""
-        if sender not in self._graph:
-            return set()
         return {
             peer
-            for peer in self._graph.neighbors(sender)
-            if self._graph.nodes[peer].get(_KIND_KEY) == _USER
+            for peer in self._adjacency.get(sender, ())
+            if self._kind.get(peer) == _USER
         }
+
+    def _analyze(self, sender: str) -> tuple[SenderClass, str | None]:
+        """Derive (classification, sole contract) in one adjacency walk."""
+        if sender not in self._kind:
+            return (SenderClass.UNKNOWN, None)
+        contracts: list[str] = []
+        for peer in self._adjacency.get(sender, ()):
+            kind = self._kind.get(peer)
+            if kind == _USER:
+                return (SenderClass.DIRECT_SENDER, None)
+            if kind == _CONTRACT:
+                contracts.append(peer)
+        if len(contracts) == 1:
+            return (SenderClass.SINGLE_CONTRACT, contracts[0])
+        if len(contracts) > 1:
+            return (SenderClass.MULTI_CONTRACT, None)
+        return (SenderClass.UNKNOWN, None)
 
     def classify(self, sender: str) -> SenderClass:
         """Classify a sender into one of the Fig. 1 patterns."""
-        if sender not in self._graph:
-            return SenderClass.UNKNOWN
-        if self.direct_peers_of(sender):
-            return SenderClass.DIRECT_SENDER
-        contracts = self.contracts_of(sender)
-        if len(contracts) == 1:
-            return SenderClass.SINGLE_CONTRACT
-        if len(contracts) > 1:
-            return SenderClass.MULTI_CONTRACT
-        return SenderClass.UNKNOWN
+        return self._analysis.get(sender, lambda: self._analyze(sender))[0]
 
     def is_single_contract(self, sender: str) -> bool:
         """The shardability predicate of Sec. II-C."""
@@ -99,32 +134,25 @@ class CallGraph:
 
     def sole_contract_of(self, sender: str) -> str | None:
         """The unique contract of a single-contract sender, else None."""
-        if not self.is_single_contract(sender):
-            return None
-        (contract,) = self.contracts_of(sender)
-        return contract
+        return self._analysis.get(sender, lambda: self._analyze(sender))[1]
 
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
     def user_count(self) -> int:
-        return sum(
-            1
-            for __, data in self._graph.nodes(data=True)
-            if data.get(_KIND_KEY) == _USER
-        )
+        return sum(1 for kind in self._kind.values() if kind == _USER)
 
     def contract_count(self) -> int:
-        return sum(
-            1
-            for __, data in self._graph.nodes(data=True)
-            if data.get(_KIND_KEY) == _CONTRACT
-        )
+        return sum(1 for kind in self._kind.values() if kind == _CONTRACT)
+
+    def cache_stats(self) -> tuple[int, int]:
+        """(hits, misses) of the classification memo — observability."""
+        return (self._analysis.hits, self._analysis.misses)
 
     def classification_histogram(self) -> dict[SenderClass, int]:
         """How many senders fall into each Fig. 1 pattern."""
         histogram = {cls: 0 for cls in SenderClass}
-        for node, data in self._graph.nodes(data=True):
-            if data.get(_KIND_KEY) == _USER:
+        for node, kind in self._kind.items():
+            if kind == _USER:
                 histogram[self.classify(node)] += 1
         return histogram

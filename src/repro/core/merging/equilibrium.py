@@ -60,6 +60,53 @@ def best_pure_deviation(
 
     Returns ``(player index, payoff gain)`` for the player who gains the
     most by flipping her strategy while everyone else holds.
+
+    A flip only moves the merged size by the flipping player's own
+    ``c_i`` (Eq. 7), so the whole scan needs the merged size once and an
+    O(1) adjustment per player — O(n) total, where recomputing the full
+    Eq. (14) table per flip (see :func:`best_pure_deviation_reference`)
+    is O(n^2).
+    """
+    if len(players) != len(profile):
+        raise MergingError("profile length does not match player count")
+    merged_size = sum(p.size for p, merges in zip(players, profile) if merges)
+    merge_count = sum(1 for merges in profile if merges)
+    satisfied = merge_count > 0 and constraint_satisfied(
+        merged_size, config.lower_bound
+    )
+    best: tuple[int, float] | None = None
+    for i, (player, merges) in enumerate(zip(players, profile)):
+        current = realized_utility(
+            merges, satisfied, config.shard_reward, player.cost
+        )
+        if merges:
+            flipped_any = merge_count > 1
+            flipped_size = merged_size - player.size
+        else:
+            flipped_any = True
+            flipped_size = merged_size + player.size
+        flipped_satisfied = flipped_any and constraint_satisfied(
+            flipped_size, config.lower_bound
+        )
+        deviated = realized_utility(
+            not merges, flipped_satisfied, config.shard_reward, player.cost
+        )
+        gain = deviated - current
+        if gain > 1e-12 and (best is None or gain > best[1]):
+            best = (i, gain)
+    return best
+
+
+def best_pure_deviation_reference(
+    players: list[ShardPlayer],
+    profile: list[bool],
+    config: MergingGameConfig,
+) -> tuple[int, float] | None:
+    """The O(n^2) textbook scan: one full payoff table per candidate flip.
+
+    Kept as the differential-testing oracle (and the benchmark baseline)
+    for :func:`best_pure_deviation`; both must return identical results
+    on every input.
     """
     best: tuple[int, float] | None = None
     for i in range(len(players)):

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.selection.congestion_game import (
     SelectionGameConfig,
+    profile_utilities,
     rosenthal_potential,
     selection_counts,
 )
@@ -51,12 +52,7 @@ class SelectionOutcome:
         return int(np.count_nonzero(self.counts()))
 
     def utilities(self) -> list[float]:
-        fees = np.asarray(self.fees)
-        counts = self.counts()
-        return [
-            float(sum(fees[j] / counts[j] for j in chosen))
-            for chosen in self.profile
-        ]
+        return profile_utilities(np.asarray(self.fees), list(self.profile))
 
     def potential(self) -> float:
         return rosenthal_potential(np.asarray(self.fees), self.counts())

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ExperimentError
+from repro.runtime import Executor, get_default_executor
 
 
 @dataclass
@@ -70,17 +71,52 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def _apply_measure(task: tuple[Callable[[int], float], int]) -> float:
+    """Executor task shape shared by :func:`averaged_sweep`."""
+    measure, seed = task
+    return measure(seed)
+
+
+def averaged_sweep(
+    points: list[tuple[Callable[[int], float], int, int]],
+    executor: Executor | None = None,
+) -> list[float]:
+    """Average many seeded measurements, fanning every repetition out.
+
+    ``points`` is a list of ``(measure, repetitions, base_seed)`` — one
+    entry per x-axis point (or per column of one). All repetitions of
+    all points flatten into a single executor map, so a sweep
+    parallelizes across both axes at once; each point's mean is then
+    taken over its repetitions *in repetition order*, which makes the
+    result bit-identical to running every point serially.
+    """
+    tasks: list[tuple[Callable[[int], float], int]] = []
+    spans: list[tuple[int, int]] = []
+    for measure, repetitions, base_seed in points:
+        if repetitions <= 0:
+            raise ExperimentError("repetitions must be positive")
+        start = len(tasks)
+        tasks.extend(
+            (measure, base_seed * 10_007 + rep) for rep in range(repetitions)
+        )
+        spans.append((start, len(tasks)))
+    chosen = executor if executor is not None else get_default_executor()
+    values = chosen.map(_apply_measure, tasks)
+    return [statistics.mean(values[start:end]) for start, end in spans]
+
+
 def averaged(
-    measure: Callable[[int], float], repetitions: int, base_seed: int
+    measure: Callable[[int], float],
+    repetitions: int,
+    base_seed: int,
+    executor: Executor | None = None,
 ) -> float:
     """Average a seeded measurement over ``repetitions`` runs.
 
     The paper repeats injections ("We repeat this injecting process for
     20 times ... to make the results more valid"); this helper is that
-    loop with deterministic per-repetition seeds.
+    loop with deterministic per-repetition seeds, fanned out over the
+    runtime executor (bit-identical to the serial loop; see
+    :mod:`repro.runtime`).
     """
-    if repetitions <= 0:
-        raise ExperimentError("repetitions must be positive")
-    return statistics.mean(
-        measure(base_seed * 10_007 + rep) for rep in range(repetitions)
-    )
+    return averaged_sweep([(measure, repetitions, base_seed)], executor)[0]

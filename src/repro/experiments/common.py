@@ -19,6 +19,7 @@ from repro.core.merging.game import MergingGameConfig, ShardPlayer
 from repro.core.selection.best_reply import BestReplyDynamics
 from repro.core.selection.congestion_game import SelectionGameConfig
 from repro.core.shard_formation import MAXSHARD_ID, partition_transactions
+from repro.runtime import get_default_executor
 from repro.sim.config import SimulationConfig, TimingModel
 from repro.sim.simulator import ShardGroupSpec, ShardedSimulation, SimulationResult
 from repro.workloads.distributions import random_small_shard_sizes
@@ -217,16 +218,33 @@ def merging_pipeline_once(
     }
 
 
+def _pipeline_task(task: tuple[int, int]) -> dict[str, float]:
+    """Executor task: one seeded pipeline run (must be module-level so
+    the sweep below can fan it out)."""
+    small_count, run_seed = task
+    return merging_pipeline_once(small_count, seed=run_seed)
+
+
 @lru_cache(maxsize=8)
 def merging_sweep(quick: bool, seed: int) -> tuple[MergingPoint, ...]:
-    """The full x = 2..7 sweep, averaged over repetitions (cached)."""
+    """The full x = 2..7 sweep, averaged over repetitions (cached).
+
+    The whole (small-shard count x repetition) grid is one executor
+    fan-out: every pipeline run is seeded independently, and each
+    point's mean is taken over its repetitions in repetition order, so
+    the result is bit-identical under any executor.
+    """
     repetitions = 3 if quick else 10
+    small_counts = list(range(2, 8))
+    tasks = [
+        (small_count, seed + 97 * rep + small_count)
+        for small_count in small_counts
+        for rep in range(repetitions)
+    ]
+    all_samples = get_default_executor().map(_pipeline_task, tasks)
     points = []
-    for small_count in range(2, 8):
-        samples = [
-            merging_pipeline_once(small_count, seed=seed + 97 * rep + small_count)
-            for rep in range(repetitions)
-        ]
+    for index, small_count in enumerate(small_counts):
+        samples = all_samples[index * repetitions : (index + 1) * repetitions]
 
         def mean(key: str) -> float:
             return sum(s[key] for s in samples) / len(samples)
@@ -245,6 +263,12 @@ def merging_sweep(quick: bool, seed: int) -> tuple[MergingPoint, ...]:
             )
         )
     return tuple(points)
+
+
+def clear_experiment_caches() -> None:
+    """Drop memoized sweep results (benchmarks and parity tests call
+    this so every timed/compared run actually recomputes)."""
+    merging_sweep.cache_clear()
 
 
 # ----------------------------------------------------------------------

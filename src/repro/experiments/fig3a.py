@@ -8,7 +8,7 @@ paper reports near-linear scaling reaching 720% at nine shards.
 from __future__ import annotations
 
 from repro.baselines.ethereum import run_ethereum
-from repro.experiments.base import ExperimentResult, averaged
+from repro.experiments.base import ExperimentResult, averaged_sweep
 from repro.experiments.common import run_sharded
 from repro.sim.config import SimulationConfig, TimingModel
 from repro.workloads.generators import uniform_contract_workload
@@ -34,14 +34,21 @@ def measure_improvement(shard_count: int, run_seed: int, total_txs: int = 200) -
 
 def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     repetitions = 2 if quick else 10
-    rows = []
-    for shard_count in range(1, 10):
-        improvement = averaged(
-            lambda s, k=shard_count: measure_improvement(k, s),
-            repetitions,
-            base_seed=seed + shard_count,
-        )
-        rows.append({"shards": shard_count, "throughput_improvement": improvement})
+    shard_counts = list(range(1, 10))
+    improvements = averaged_sweep(
+        [
+            (
+                lambda s, k=shard_count: measure_improvement(k, s),
+                repetitions,
+                seed + shard_count,
+            )
+            for shard_count in shard_counts
+        ]
+    )
+    rows = [
+        {"shards": shard_count, "throughput_improvement": improvement}
+        for shard_count, improvement in zip(shard_counts, improvements)
+    ]
     return ExperimentResult(
         experiment_id="fig3a",
         title="Throughput improvement of sharding separation",

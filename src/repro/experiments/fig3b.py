@@ -8,7 +8,7 @@ blocks as Ethereum.
 from __future__ import annotations
 
 from repro.baselines.ethereum import run_ethereum
-from repro.experiments.base import ExperimentResult, averaged
+from repro.experiments.base import ExperimentResult, averaged_sweep
 from repro.experiments.common import run_sharded
 from repro.experiments.fig3a import TIMING
 from repro.sim.config import SimulationConfig
@@ -17,8 +17,9 @@ from repro.workloads.generators import uniform_contract_workload
 
 def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     repetitions = 2 if quick else 10
-    rows = []
-    for shard_count in range(1, 10):
+    shard_counts = list(range(1, 10))
+    points = []
+    for shard_count in shard_counts:
 
         def measure_eth(run_seed: int, k: int = shard_count) -> float:
             txs = uniform_contract_workload(200, k - 1, seed=run_seed)
@@ -34,17 +35,18 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
             )
             return float(result.total_empty_blocks)
 
-        rows.append(
-            {
-                "shards": shard_count,
-                "empty_blocks_ethereum": averaged(
-                    measure_eth, repetitions, base_seed=seed + shard_count
-                ),
-                "empty_blocks_sharding": averaged(
-                    measure_sharded, repetitions, base_seed=seed + shard_count
-                ),
-            }
-        )
+        points.append((measure_eth, repetitions, seed + shard_count))
+        points.append((measure_sharded, repetitions, seed + shard_count))
+
+    means = averaged_sweep(points)
+    rows = [
+        {
+            "shards": shard_count,
+            "empty_blocks_ethereum": means[2 * i],
+            "empty_blocks_sharding": means[2 * i + 1],
+        }
+        for i, shard_count in enumerate(shard_counts)
+    ]
     return ExperimentResult(
         experiment_id="fig3b",
         title="Empty blocks: Ethereum vs. sharding without small shards",

@@ -10,7 +10,7 @@ improvement of 300%.
 from __future__ import annotations
 
 from repro.baselines.ethereum import run_ethereum
-from repro.experiments.base import ExperimentResult, averaged
+from repro.experiments.base import ExperimentResult, averaged_sweep
 from repro.experiments.common import epoch_selection_assignments
 from repro.sim.config import SimulationConfig, TimingModel
 from repro.sim.simulator import ShardGroupSpec, ShardedSimulation
@@ -46,14 +46,21 @@ def measure_improvement(miners: int, run_seed: int, total_txs: int = 200) -> flo
 
 def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     repetitions = 2 if quick else 8
-    rows = []
-    for miners in range(1, 10):
-        improvement = averaged(
-            lambda s, m=miners: measure_improvement(m, s),
-            repetitions,
-            base_seed=seed + miners,
-        )
-        rows.append({"miners": miners, "throughput_improvement": improvement})
+    miner_counts = list(range(1, 10))
+    improvements = averaged_sweep(
+        [
+            (
+                lambda s, m=miners: measure_improvement(m, s),
+                repetitions,
+                seed + miners,
+            )
+            for miners in miner_counts
+        ]
+    )
+    rows = [
+        {"miners": miners, "throughput_improvement": improvement}
+        for miners, improvement in zip(miner_counts, improvements)
+    ]
     average = sum(row["throughput_improvement"] for row in rows) / len(rows)
     return ExperimentResult(
         experiment_id="fig3h",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.baselines.chainspace import ChainSpaceModel
 from repro.baselines.ethereum import run_ethereum
-from repro.experiments.base import ExperimentResult, averaged
+from repro.experiments.base import ExperimentResult, averaged_sweep
 from repro.experiments.common import run_sharded
 from repro.sim.config import SimulationConfig, TimingModel
 from repro.workloads.generators import uniform_contract_workload
@@ -21,8 +21,9 @@ TIMING = TimingModel.low_variance(interval=10.0 / 76.0, shape=48.0)
 def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     total_txs = 2_400 if quick else 24_000
     repetitions = 1 if quick else 3
-    rows = []
-    for shard_count in range(1, 10):
+    shard_counts = list(range(1, 10))
+    points = []
+    for shard_count in shard_counts:
 
         def measure_ours(run_seed: int, k: int = shard_count) -> float:
             txs = uniform_contract_workload(total_txs, k - 1, seed=run_seed)
@@ -45,17 +46,18 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
             )
             return eth.makespan / cs.makespan
 
-        rows.append(
-            {
-                "shards": shard_count,
-                "improvement_ours": averaged(
-                    measure_ours, repetitions, base_seed=seed + shard_count
-                ),
-                "improvement_chainspace": averaged(
-                    measure_chainspace, repetitions, base_seed=seed + shard_count
-                ),
-            }
-        )
+        points.append((measure_ours, repetitions, seed + shard_count))
+        points.append((measure_chainspace, repetitions, seed + shard_count))
+
+    means = averaged_sweep(points)
+    rows = [
+        {
+            "shards": shard_count,
+            "improvement_ours": means[2 * i],
+            "improvement_chainspace": means[2 * i + 1],
+        }
+        for i, shard_count in enumerate(shard_counts)
+    ]
     return ExperimentResult(
         experiment_id="fig4a",
         title="Throughput improvement: our sharding vs. ChainSpace",

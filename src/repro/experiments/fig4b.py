@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.baselines.chainspace import ChainSpaceModel
 from repro.core.shard_formation import MAXSHARD_ID, partition_transactions
-from repro.experiments.base import ExperimentResult, averaged
+from repro.experiments.base import ExperimentResult, averaged_sweep
 from repro.workloads.generators import three_input_workload
 
 SHARDS = 9
@@ -42,7 +42,7 @@ def our_communication_times(tx_count: int, seed: int) -> float:
 def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     counts = [0, 1_000, 2_000] if quick else [0, 4_000, 8_000, 12_000, 16_000, 20_000, 24_000]
     repetitions = 2 if quick else 20
-    rows = []
+    points = []
     for count in counts:
 
         def measure_chainspace(run_seed: int, n: int = count) -> float:
@@ -52,15 +52,17 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
             model = ChainSpaceModel(shard_count=SHARDS, seed=run_seed)
             return model.count_communication(txs).per_shard_mean
 
-        rows.append(
-            {
-                "three_input_txs": count,
-                "comm_ours": our_communication_times(count, seed),
-                "comm_chainspace": averaged(
-                    measure_chainspace, repetitions, base_seed=seed + count
-                ),
-            }
-        )
+        points.append((measure_chainspace, repetitions, seed + count))
+
+    means = averaged_sweep(points)
+    rows = [
+        {
+            "three_input_txs": count,
+            "comm_ours": our_communication_times(count, seed),
+            "comm_chainspace": mean,
+        }
+        for count, mean in zip(counts, means)
+    ]
     return ExperimentResult(
         experiment_id="fig4b",
         title="Per-shard communication times vs. 3-input transaction volume",

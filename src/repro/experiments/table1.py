@@ -9,7 +9,7 @@ beyond ~4 miners.
 from __future__ import annotations
 
 from repro.baselines.ethereum import run_ethereum
-from repro.experiments.base import ExperimentResult, averaged
+from repro.experiments.base import ExperimentResult, averaged_sweep
 from repro.sim.config import SimulationConfig, TimingModel
 from repro.workloads.generators import uniform_contract_workload
 
@@ -21,21 +21,24 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     timing = TimingModel.table1()
     txs = uniform_contract_workload(total_txs=20, contract_shards=0, seed=seed)
 
-    rows = []
-    for miners in range(2, 8):
+    miner_counts = list(range(2, 8))
+    points = []
+    for miners in miner_counts:
 
         def measure(run_seed: int, miners: int = miners) -> float:
             config = SimulationConfig(timing=timing, block_capacity=10, seed=run_seed)
             return run_ethereum(txs, miner_count=miners, config=config).makespan
 
-        measured = averaged(measure, repetitions, base_seed=seed + miners)
-        rows.append(
-            {
-                "miners": miners,
-                "confirmation_time_s": measured,
-                "paper_s": PAPER_CONFIRMATION_TIMES[miners],
-            }
-        )
+        points.append((measure, repetitions, seed + miners))
+
+    rows = [
+        {
+            "miners": miners,
+            "confirmation_time_s": measured,
+            "paper_s": PAPER_CONFIRMATION_TIMES[miners],
+        }
+        for miners, measured in zip(miner_counts, averaged_sweep(points))
+    ]
     return ExperimentResult(
         experiment_id="table1",
         title="Confirmation time with different numbers of miners",

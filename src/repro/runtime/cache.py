@@ -1,0 +1,74 @@
+"""Tiny invalidating memo tables for repeated deterministic lookups.
+
+Shard formation asks the call graph the same questions over and over —
+every transaction of a sender re-derives her Fig. 1 classification, and
+every partition re-walks the same adjacency. Those answers only change
+when the graph itself changes, so a :class:`MemoCache` keyed by sender
+with explicit invalidation turns the O(degree) scans into dict hits.
+
+``REPRO_DISABLE_CACHE=1`` switches every cache off (used by the
+benchmarks to measure the un-memoized baseline, and available as a
+kill-switch when debugging staleness).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Generic, Hashable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+def caching_disabled() -> bool:
+    """Whether the environment kill-switch is set."""
+    return os.environ.get("REPRO_DISABLE_CACHE", "") not in ("", "0")
+
+
+class MemoCache(Generic[K, V]):
+    """A bounded memo table with explicit invalidation and hit stats.
+
+    Unlike ``functools.lru_cache`` this caches *stateful* lookups: the
+    owner invalidates exactly the keys an update may have changed. The
+    bound exists only as a memory backstop — when full, the cache is
+    cleared wholesale (the workloads it serves re-warm in one pass).
+    """
+
+    __slots__ = ("_data", "_max_entries", "enabled", "hits", "misses")
+
+    def __init__(self, max_entries: int = 65_536, enabled: bool | None = None) -> None:
+        self._data: dict[K, V] = {}
+        self._max_entries = max_entries
+        self.enabled = (not caching_disabled()) if enabled is None else enabled
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: K, compute: Callable[[], V]) -> V:
+        """The memoized value of ``compute`` under ``key``."""
+        if not self.enabled:
+            return compute()
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            if len(self._data) >= self._max_entries:
+                self._data.clear()
+            value = self._data[key] = compute()
+            return value
+        self.hits += 1
+        return value
+
+    def invalidate(self, key: K) -> None:
+        """Drop one key (a no-op when absent)."""
+        self._data.pop(key, None)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

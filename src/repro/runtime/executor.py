@@ -1,0 +1,197 @@
+"""Seeded, deterministic task executors (serial and process-pool).
+
+The contract every executor honors:
+
+1. **Ordered results** — ``map(fn, items)`` returns ``[fn(x) for x in
+   items]`` in submission order, whatever order tasks finish in.
+2. **Determinism** — tasks must derive all randomness from their item
+   (typically a seed); under that discipline a parallel map is
+   bit-identical to a serial one, because float64 values survive the
+   worker→parent pickle round-trip exactly.
+3. **No nesting** — a task scheduled by :class:`ProcessExecutor` that
+   itself calls ``map`` runs that inner map serially (workers set a
+   process-local flag), so fan-out never multiplies.
+
+:class:`ProcessExecutor` requires the ``fork`` start method: the worker
+inherits the parent's memory, so task callables may be closures (the
+experiment runners build their measures as closures over sweep
+parameters) — only *results* must be picklable. On platforms without
+``fork`` it degrades to serial execution.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+from typing import Callable, Iterable, Protocol, Sequence, TypeVar
+
+from repro.errors import SimulationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Fork-inherited task payload: (fn, items). Only ever set around a pool
+#: invocation in the parent; workers read it, the parent clears it.
+_TASKS: tuple[Callable, Sequence] | None = None
+
+#: True inside a pool worker; inner maps then run serially.
+_IN_WORKER = False
+
+
+class Executor(Protocol):
+    """An ordered, deterministic ``map`` provider."""
+
+    workers: int
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Evaluate ``fn`` over ``items``, results in submission order."""
+        ...
+
+
+class SerialExecutor:
+    """The reference executor: evaluate in the calling process."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _run_task(index: int):
+    assert _TASKS is not None, "worker invoked without an active task set"
+    fn, items = _TASKS
+    return fn(items[index])
+
+
+def fork_available() -> bool:
+    """Whether the fork start method (and thus real pools) exists."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+class ProcessExecutor:
+    """A fork-based process pool with ordered result collection.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to the CPU count. A fresh pool is forked per
+        ``map`` call so workers always see the caller's current memory
+        (closures, module state) — fork on Linux is a few milliseconds,
+        which the repetition-level task sizes amortize.
+    min_items:
+        Below this many tasks the pool is not worth forking; the map
+        runs serially (the result is identical either way).
+    """
+
+    def __init__(self, workers: int | None = None, min_items: int = 2) -> None:
+        if workers is not None and workers < 1:
+            raise SimulationError("a process executor needs >= 1 worker")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.min_items = min_items
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        global _TASKS
+        tasks = list(items)
+        if (
+            _IN_WORKER
+            or self.workers <= 1
+            or len(tasks) < self.min_items
+            or not fork_available()
+        ):
+            return [fn(item) for item in tasks]
+        if _TASKS is not None:
+            # Re-entrant map in the parent (an executor task spawned more
+            # parent-side work): nested fan-out is disallowed, run serial.
+            return [fn(item) for item in tasks]
+
+        context = multiprocessing.get_context("fork")
+        _TASKS = (fn, tasks)
+        try:
+            with context.Pool(
+                processes=min(self.workers, len(tasks)),
+                initializer=_mark_worker,
+            ) as pool:
+                # Pool.map returns results in submission order regardless
+                # of completion order — the ordered-collection guarantee.
+                return pool.map(_run_task, range(len(tasks)), chunksize=1)
+        finally:
+            _TASKS = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+def executor_from_env() -> Executor:
+    """Build the default executor from the environment.
+
+    ``REPRO_EXECUTOR`` selects the mode: ``serial``, ``process``, or
+    ``auto`` (the default — a pool when more than one CPU is visible,
+    serial otherwise, so single-core machines never pay fork overhead
+    for nothing). ``REPRO_WORKERS`` overrides the pool size.
+    """
+    mode = os.environ.get("REPRO_EXECUTOR", "auto").strip().lower()
+    workers_env = os.environ.get("REPRO_WORKERS", "").strip()
+    workers = int(workers_env) if workers_env else None
+    if mode not in ("serial", "process", "auto"):
+        raise SimulationError(
+            f"REPRO_EXECUTOR={mode!r}: expected serial, process, or auto"
+        )
+    if mode == "serial":
+        return SerialExecutor()
+    if mode == "process":
+        return ProcessExecutor(workers=workers)
+    available = workers if workers is not None else (os.cpu_count() or 1)
+    if available > 1 and fork_available():
+        return ProcessExecutor(workers=available)
+    return SerialExecutor()
+
+
+_DEFAULT: Executor | None = None
+
+
+def get_default_executor() -> Executor:
+    """The process-wide executor every fan-out point shares."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = executor_from_env()
+    return _DEFAULT
+
+
+def set_default_executor(executor: Executor | None) -> None:
+    """Install a default executor (``None`` re-derives from the env)."""
+    global _DEFAULT
+    _DEFAULT = executor
+
+
+@contextlib.contextmanager
+def use_executor(executor: Executor):
+    """Scope a default-executor override (benchmarks, parity tests)."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = executor
+    try:
+        yield executor
+    finally:
+        _DEFAULT = previous
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    executor: Executor | None = None,
+) -> list[R]:
+    """``map`` through ``executor`` (or the process-wide default)."""
+    chosen = executor if executor is not None else get_default_executor()
+    return chosen.map(fn, items)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.chain.transaction import Transaction
 from repro.core.epoch import EpochManager, EpochPlan
 from repro.errors import SimulationError
+from repro.runtime import Executor, get_default_executor
 from repro.sim.config import SimulationConfig, TimingModel
 from repro.sim.simulator import ShardedSimulation, SimulationResult
 
@@ -65,17 +66,42 @@ class Campaign:
         timing: TimingModel | None = None,
         block_capacity: int = 10,
         base_seed: int = 0,
+        executor: Executor | None = None,
     ) -> None:
         self._manager = manager
         self._timing = timing or TimingModel.low_variance(interval=1.0, shape=24.0)
         self._block_capacity = block_capacity
         self._base_seed = base_seed
+        self._executor = executor
+
+    def _simulate_epoch(
+        self, planned: tuple[int, EpochPlan, int, int, int]
+    ) -> SimulationResult:
+        """One epoch's simulation — an independent, seeded executor task."""
+        epoch_index, plan, __, __, __ = planned
+        config = SimulationConfig(
+            timing=self._timing,
+            block_capacity=self._block_capacity,
+            seed=self._base_seed + epoch_index,
+        )
+        return ShardedSimulation(plan.to_specs(), config=config).run()
 
     def run(self, traffic: list[list[Transaction]]) -> CampaignResult:
-        """Execute one epoch per traffic batch, carrying deferrals over."""
+        """Execute one epoch per traffic batch, carrying deferrals over.
+
+        Planning is inherently sequential — epoch ``i+1``'s workload
+        contains epoch ``i``'s deferrals, and the beacon chain advances
+        once per epoch — but a deferral depends only on the *plan*
+        (shards that drew no miners), never on the simulation. So the
+        plans are derived in epoch order first, and the epoch
+        *simulations* — each seeded by ``base_seed + epoch_index`` alone
+        — then fan out over the runtime executor, with results collected
+        back in epoch order. A parallel campaign is bit-identical to a
+        serial one.
+        """
         if not traffic:
             raise SimulationError("a campaign needs at least one epoch of traffic")
-        campaign = CampaignResult()
+        planned: list[tuple[int, EpochPlan, int, int, int]] = []
         carryover: list[Transaction] = []
         for epoch_index, fresh in enumerate(traffic):
             workload = carryover + list(fresh)
@@ -83,22 +109,27 @@ class Campaign:
                 carryover = []
                 continue
             plan = self._manager.run_epoch(epoch_index, workload)
-            config = SimulationConfig(
-                timing=self._timing,
-                block_capacity=self._block_capacity,
-                seed=self._base_seed + epoch_index,
-            )
-            result = ShardedSimulation(plan.to_specs(), config=config).run()
             deferred = plan.deferred_transactions()
+            planned.append(
+                (epoch_index, plan, len(fresh), len(carryover), len(deferred))
+            )
+            carryover = deferred
+
+        executor = self._executor or get_default_executor()
+        results = executor.map(self._simulate_epoch, planned)
+
+        campaign = CampaignResult()
+        for (epoch_index, plan, injected, carried_in, deferred_out), result in zip(
+            planned, results
+        ):
             campaign.epochs.append(
                 EpochOutcome(
                     epoch_index=epoch_index,
                     plan=plan,
                     result=result,
-                    injected=len(fresh),
-                    carried_in=len(carryover),
-                    deferred_out=len(deferred),
+                    injected=injected,
+                    carried_in=carried_in,
+                    deferred_out=deferred_out,
                 )
             )
-            carryover = deferred
         return campaign

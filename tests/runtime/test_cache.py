@@ -1,0 +1,51 @@
+"""Tests for repro.runtime.cache."""
+
+from repro.runtime.cache import MemoCache, caching_disabled
+
+
+class TestMemoCache:
+    def test_memoizes_and_counts(self):
+        cache = MemoCache()
+        calls = []
+        compute = lambda: calls.append(1) or len(calls)  # noqa: E731
+        assert cache.get("k", compute) == 1
+        assert cache.get("k", compute) == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_invalidate_forces_recompute(self):
+        cache = MemoCache()
+        values = iter([1, 2])
+        assert cache.get("k", lambda: next(values)) == 1
+        cache.invalidate("k")
+        assert cache.get("k", lambda: next(values)) == 2
+
+    def test_invalidate_absent_key_is_noop(self):
+        MemoCache().invalidate("missing")
+
+    def test_clear_empties(self):
+        cache = MemoCache()
+        cache.get("k", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_bound_clears_wholesale(self):
+        cache = MemoCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.get(key, lambda: key)
+        assert len(cache) == 1  # a+b evicted when c arrived
+
+    def test_disabled_cache_always_computes(self):
+        cache = MemoCache(enabled=False)
+        values = iter([1, 2])
+        assert cache.get("k", lambda: next(values)) == 1
+        assert cache.get("k", lambda: next(values)) == 2
+        assert len(cache) == 0
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_CACHE", "1")
+        assert caching_disabled()
+        assert MemoCache().enabled is False
+        monkeypatch.setenv("REPRO_DISABLE_CACHE", "0")
+        assert not caching_disabled()
+        assert MemoCache().enabled is True
