@@ -68,6 +68,12 @@ from repro.faults import (
     MessageFaults,
     Partition,
 )
+from repro.observe import (
+    MetricsRegistry,
+    Tracer,
+    tracing_enabled,
+    use_tracer,
+)
 from repro.baselines import (
     ChainSpaceModel,
     RandomizedMerging,
@@ -137,6 +143,11 @@ __all__ = [
     "FaultyLeader",
     "MessageFaults",
     "Partition",
+    # observe
+    "MetricsRegistry",
+    "Tracer",
+    "tracing_enabled",
+    "use_tracer",
     # baselines
     "run_ethereum",
     "ChainSpaceModel",

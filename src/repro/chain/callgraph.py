@@ -51,7 +51,9 @@ class CallGraph:
         #: undirected adjacency.
         self._adjacency: dict[str, set[str]] = {}
         #: sender -> (classification, sole contract or None).
-        self._analysis: MemoCache[str, tuple[SenderClass, str | None]] = MemoCache()
+        self._analysis: MemoCache[str, tuple[SenderClass, str | None]] = MemoCache(
+            name="callgraph.analysis"
+        )
 
     # ------------------------------------------------------------------
     # construction

@@ -105,7 +105,16 @@ class RetargetSimulation:
     def steady_state_interval(
         self, blocks: int = 4_000, warmup_fraction: float = 0.5
     ) -> float:
-        """Mean interval after the controller settles."""
+        """Mean interval after the controller settles.
+
+        ``warmup_fraction`` must be in ``[0, 1)``: the whole-run mean is
+        the 0.0 boundary, while 1.0 would discard every sample and leave
+        nothing to average.
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigError(
+                f"warmup_fraction must be in [0, 1): got {warmup_fraction}"
+            )
         intervals = self.run(blocks)
         start = int(len(intervals) * warmup_fraction)
         tail = intervals[start:]

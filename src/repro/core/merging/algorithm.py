@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.merging.game import MergingGameConfig, ShardPlayer, constraint_satisfied
 from repro.errors import MergingError
+from repro.observe import get_tracer
 
 
 @dataclass(frozen=True)
@@ -127,6 +128,22 @@ class OneTimeMerge:
             players[i].shard_id for i in range(n) if decision[i]
         )
         merged_size = int(sizes[decision].sum())
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.event(
+                "merge.converge",
+                phase="merging",
+                players=n,
+                slots=slots_used,
+                converged=converged,
+                merged=len(merged_ids),
+                merged_size=merged_size,
+                satisfied=constraint_satisfied(merged_size, cfg.lower_bound),
+            )
+            tracer.metrics.histogram("merging.slots_to_converge").observe(
+                slots_used
+            )
+            tracer.metrics.counter("merging.games").inc()
         return MergeOutcome(
             players=tuple(players),
             probabilities=tuple(float(v) for v in x),
@@ -202,11 +219,21 @@ class IterativeMerging:
         remaining = list(players)
         outcomes: list[MergeOutcome] = []
         rounds = 0
+        tracer = get_tracer()
         while self._can_form_new_shard(remaining):
             rounds += 1
             seed = None if self._seed is None else self._seed + rounds
             game = OneTimeMerge(self._config, seed=seed)
             outcome = game.run(remaining)
+            if tracer is not None:
+                tracer.event(
+                    "merge.round",
+                    phase="merging",
+                    round=rounds,
+                    remaining=len(remaining),
+                    merged=len(outcome.merged_shards),
+                    satisfied=outcome.satisfied,
+                )
             if not outcome.satisfied or not outcome.merged_shards:
                 # The group could not stabilize a viable shard; stop rather
                 # than loop forever on the same population.
@@ -214,6 +241,15 @@ class IterativeMerging:
             outcomes.append(outcome)
             merged = set(outcome.merged_shards)
             remaining = [p for p in remaining if p.shard_id not in merged]
+        if tracer is not None:
+            tracer.event(
+                "merge.result",
+                phase="merging",
+                rounds=rounds,
+                new_shards=sum(1 for o in outcomes if o.satisfied),
+                leftovers=len(remaining),
+            )
+            tracer.metrics.histogram("merging.rounds_per_run").observe(rounds)
         return IterativeMergingResult(
             new_shards=tuple(outcomes),
             leftover_players=tuple(remaining),

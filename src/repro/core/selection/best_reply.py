@@ -22,6 +22,7 @@ from repro.core.selection.congestion_game import (
     selection_counts,
 )
 from repro.errors import SelectionError
+from repro.observe import get_tracer
 
 
 @dataclass(frozen=True)
@@ -133,19 +134,43 @@ class BestReplyDynamics:
 
         counts = selection_counts(tx_count, [tuple(c) for c in profile])
         epsilon = self._config.tie_epsilon
+        tracer = get_tracer()
         moves = 0
         rounds = 0
         converged = False
         while rounds < self._config.max_rounds:
             rounds += 1
-            improved = False
+            round_moves = 0
             for i in range(miners):
                 if self._best_swap(fees, profile[i], counts, capacity, epsilon):
-                    improved = True
-                    moves += 1
-            if not improved:
+                    round_moves += 1
+            moves += round_moves
+            if tracer is not None and round_moves:
+                # Per-iteration deviation counts: the shape of Algorithm
+                # 2's convergence (fast early sweeps, a long quiet tail).
+                tracer.event(
+                    "selection.round",
+                    phase="selection",
+                    round=rounds,
+                    deviations=round_moves,
+                )
+            if not round_moves:
                 converged = True
                 break
+        if tracer is not None:
+            tracer.event(
+                "selection.converged",
+                phase="selection",
+                miners=miners,
+                txs=tx_count,
+                rounds=rounds,
+                moves=moves,
+                converged=converged,
+            )
+            tracer.metrics.histogram("selection.rounds_to_converge").observe(
+                rounds
+            )
+            tracer.metrics.counter("selection.deviations").inc(moves)
 
         return SelectionOutcome(
             fees=tuple(float(f) for f in fees),

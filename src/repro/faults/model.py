@@ -16,9 +16,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.faults.plan import FaultPlan, FaultStats
 from repro.net.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observe import Tracer
 
 
 @dataclass(frozen=True)
@@ -40,10 +44,32 @@ _CLEAN = FaultDecision()
 class FaultModel:
     """Evaluates a :class:`FaultPlan` against live traffic."""
 
-    def __init__(self, plan: FaultPlan | None = None, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        plan: FaultPlan | None = None,
+        seed: int | None = None,
+        tracer: "Tracer | None" = None,
+    ) -> None:
         self.plan = plan or FaultPlan.none()
         self.stats = FaultStats()
         self._rng = random.Random(seed)
+        # The injected-event log: every decision that altered traffic is
+        # emitted so a trace can cross-reference injected faults against
+        # the protocol's observed reactions (retransmits, fallbacks).
+        # Never consulted for control flow, so determinism is untouched.
+        self._tracer = tracer
+
+    def _note(self, name: str, message: Message, time: float, **attrs) -> None:
+        if self._tracer is not None:
+            self._tracer.event(
+                name,
+                time=time,
+                phase="fault",
+                actor=message.sender,
+                kind=message.kind.name,
+                recipient=message.recipient,
+                **attrs,
+            )
 
     # ------------------------------------------------------------------
     # node liveness / reachability
@@ -71,9 +97,11 @@ class FaultModel:
         """
         if self.crashed(message.sender, time):
             self.stats.crash_drops += 1
+            self._note("fault.crash_drop", message, time)
             return FaultDecision(dropped=True)
         if self.partitioned(message.sender, message.recipient, time):
             self.stats.partition_drops += 1
+            self._note("fault.partition_drop", message, time)
             return FaultDecision(dropped=True)
 
         faults = self.plan.faults_for(message.kind)
@@ -82,6 +110,7 @@ class FaultModel:
 
         if faults.drop_probability > 0 and self._rng.random() < faults.drop_probability:
             self.stats.drops += 1
+            self._note("fault.drop", message, time)
             return FaultDecision(dropped=True)
 
         extra_delay = 0.0
@@ -91,6 +120,9 @@ class FaultModel:
         ):
             extra_delay = self._rng.uniform(0.0, faults.delay_spike_seconds)
             self.stats.delay_spikes += 1
+            self._note(
+                "fault.delay", message, time, extra_delay=round(extra_delay, 9)
+            )
 
         duplicate_delay: float | None = None
         if (
@@ -100,6 +132,7 @@ class FaultModel:
             # The copy takes its own (spiked) path through the network.
             duplicate_delay = self._rng.uniform(0.0, max(faults.delay_spike_seconds, 0.1))
             self.stats.duplicates += 1
+            self._note("fault.duplicate", message, time)
 
         return FaultDecision(
             dropped=False, extra_delay=extra_delay, duplicate_delay=duplicate_delay
@@ -113,6 +146,7 @@ class FaultModel:
         """
         if self.crashed(message.recipient, time):
             self.stats.crash_drops += 1
+            self._note("fault.delivery_drop", message, time)
             return False
         return True
 

@@ -1,0 +1,65 @@
+"""Deterministic tracing and metrics (the observability layer).
+
+The simulation grew retransmission sweeps, leader timeouts, merging
+rounds, best-reply iterations, cache hits and executor fan-outs — all
+invisible behind final result counters. This package makes that
+behavior a first-class, *reproducible* output:
+
+* :class:`Tracer` — structured span/event records keyed by simulated
+  time, phase, shard, miner and epoch. Wall-clock measurements live in
+  an explicit sidecar excluded from record identity, so the same seed
+  yields the same :meth:`Tracer.digest` — a trace is itself a
+  regression oracle.
+* :class:`MetricsRegistry` — deterministic counters/gauges/histograms
+  (blocks forged, rounds to convergence, tasks fanned out).
+* :mod:`repro.observe.export` — JSONL export plus a human-readable
+  per-phase summary, the sharding-survey-style breakdown (per-phase
+  latencies, per-shard timelines) end-to-end counters cannot give.
+
+Enabling it: set ``REPRO_TRACE=1``, or pass ``trace=`` to
+:class:`~repro.sim.protocol.ProtocolConfig` /
+:class:`~repro.sim.campaign.Campaign`, or scope any code under
+:func:`use_tracer`. Disabled-mode overhead is a pointer check per
+instrumentation site (guarded by ``benchmarks/bench_observe.py``).
+"""
+
+from __future__ import annotations
+
+from repro.observe.export import (
+    digest_of_jsonl,
+    read_jsonl,
+    render_trace_summary,
+    trace_digest,
+    write_jsonl,
+)
+from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observe.tracer import (
+    TRACE_ENV,
+    TraceRecord,
+    Tracer,
+    get_tracer,
+    resolve_tracer,
+    set_tracer,
+    tracing_enabled,
+    use_tracer,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceRecord",
+    "Tracer",
+    "digest_of_jsonl",
+    "get_tracer",
+    "read_jsonl",
+    "render_trace_summary",
+    "resolve_tracer",
+    "set_tracer",
+    "trace_digest",
+    "tracing_enabled",
+    "use_tracer",
+    "write_jsonl",
+]

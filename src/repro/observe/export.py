@@ -1,0 +1,126 @@
+"""Trace export: digests, JSONL files, and the human-readable summary.
+
+The digest is the determinism oracle the tests and the CI smoke step
+rely on: it hashes every record's identity projection (wall-clock
+sidecars excluded), so two same-seed runs must produce the same hex
+string byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from collections import Counter as _TallyCounter
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observe.tracer import Tracer, TraceRecord
+
+
+def trace_digest(records: "Iterable[TraceRecord]") -> str:
+    """SHA-256 over the deterministic projection of a record stream."""
+    hasher = hashlib.sha256()
+    for record in records:
+        hasher.update(record.to_json(include_wall=False).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def write_jsonl(
+    records: "Iterable[TraceRecord]",
+    path: str | pathlib.Path,
+    include_wall: bool = True,
+) -> pathlib.Path:
+    """One JSON object per line; returns the written path."""
+    target = pathlib.Path(path)
+    with target.open("w") as handle:
+        for record in records:
+            handle.write(record.to_json(include_wall=include_wall) + "\n")
+    return target
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[dict]:
+    """Parse a trace file back into plain dicts (analysis, CI checks)."""
+    lines = pathlib.Path(path).read_text().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def digest_of_jsonl(path: str | pathlib.Path) -> str:
+    """Recompute the wall-excluding digest from an exported trace file.
+
+    Lets the CI smoke step verify determinism from the artifacts alone:
+    strip each line's ``wall`` sidecar, re-canonicalize, hash.
+    """
+    hasher = hashlib.sha256()
+    for payload in read_jsonl(path):
+        payload.pop("wall", None)
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        hasher.update(line.encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def _phase_table(records: "list[TraceRecord]") -> list[str]:
+    tally: _TallyCounter = _TallyCounter(
+        (r.phase or "-", r.name) for r in records
+    )
+    if not tally:
+        return ["  (no records)"]
+    width = max(len(phase) for phase, __ in tally)
+    lines = []
+    for (phase, name), count in sorted(tally.items()):
+        lines.append(f"  {phase.ljust(width)}  {name}: {count}")
+    return lines
+
+
+def _shard_timeline(records: "list[TraceRecord]") -> list[str]:
+    """Per-shard confirmation progress from ``block.forged`` records."""
+    by_shard: dict[int, list["TraceRecord"]] = {}
+    for record in records:
+        if record.name == "block.forged" and record.shard is not None:
+            by_shard.setdefault(record.shard, []).append(record)
+    lines = []
+    for shard, blocks in sorted(by_shard.items()):
+        last = blocks[-1]
+        confirmed = last.attrs.get("confirmed_in_shard", "?")
+        empties = sum(1 for b in blocks if b.attrs.get("empty"))
+        when = f"{last.time:.1f}s" if last.time is not None else "-"
+        lines.append(
+            f"  shard {shard}: {len(blocks)} blocks "
+            f"({empties} empty), {confirmed} confirmed by {when}"
+        )
+    return lines
+
+
+def render_trace_summary(tracer: "Tracer", title: str = "trace") -> str:
+    """An ``experiments.report``-style per-phase breakdown of one trace."""
+    records = tracer.records
+    parts = [
+        f"[{title}] {len(records)} records, digest {tracer.digest()[:16]}…",
+        "per-phase record counts:",
+        *_phase_table(records),
+    ]
+    timeline = _shard_timeline(records)
+    if timeline:
+        parts.append("per-shard confirmation timeline:")
+        parts.extend(timeline)
+    parts.append("metrics:")
+    parts.append(tracer.metrics.render())
+    cache_lines = _cache_lines()
+    if cache_lines:
+        parts.append("memo caches (process-wide):")
+        parts.extend(cache_lines)
+    return "\n".join(parts)
+
+
+def _cache_lines() -> list[str]:
+    # Imported lazily: observe must stay import-cycle-free below runtime.
+    from repro.runtime.cache import named_cache_stats
+
+    return [
+        f"  {name}: hit_rate={stats['hit_rate']:.3f} "
+        f"hits={stats['hits']} misses={stats['misses']} "
+        f"entries={stats['entries']} instances={stats['instances']}"
+        for name, stats in sorted(named_cache_stats().items())
+    ]

@@ -1,0 +1,170 @@
+"""Counters, gauges and histograms for simulation-level metrics.
+
+The registry is deliberately tiny: metrics here are *deterministic
+aggregates* of simulation behavior (blocks mined, rounds to
+convergence, cache hits), so two same-seed runs produce identical
+snapshots. Wall-clock quantities never enter a metric — they belong in
+the wall sidecar of a trace record (see :mod:`repro.observe.tracer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter {self.name}: cannot decrease by {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins level."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """All observed samples, summarized on demand.
+
+    Simulations here observe at most a few thousand values per run, so
+    the histogram keeps the raw samples — exact quantiles beat bucket
+    boundaries chosen in advance.
+    """
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The nearest-rank ``q``-quantile of the observed samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1]: got {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named counters/gauges/histograms.
+
+    A name is bound to one metric type for the registry's lifetime;
+    asking for it as a different type raises, which catches the silent
+    shadowing a plain dict would allow.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_unbound(self, name: str, want: str) -> None:
+        kinds = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for kind, table in kinds.items():
+            if kind != want and name in table:
+                raise ConfigError(
+                    f"metric {name!r} already registered as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_unbound(name, "counter")
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_unbound(name, "gauge")
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._check_unbound(name, "histogram")
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def snapshot(self) -> dict[str, object]:
+        """A deterministic, JSON-ready dump of every metric."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable metric lines (``repro.experiments.report`` style)."""
+        lines: list[str] = []
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"  {name} = {counter.value:g}")
+        for name, gauge in sorted(self._gauges.items()):
+            lines.append(f"  {name} = {gauge.value:g}")
+        for name, hist in sorted(self._histograms.items()):
+            s = hist.summary()
+            lines.append(
+                f"  {name}: n={s['count']} mean={s['mean']:.3f} "
+                f"min={s['min']:.3f} p50={s['p50']:.3f} "
+                f"p95={s['p95']:.3f} max={s['max']:.3f}"
+            )
+        return "\n".join(lines) if lines else "  (no metrics)"

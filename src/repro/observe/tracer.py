@@ -1,0 +1,272 @@
+"""Deterministic structured tracing.
+
+A :class:`Tracer` collects :class:`TraceRecord` entries from the
+instrumented seams of the system (protocol phases, merging/selection
+rounds, executor fan-outs, injected faults). The determinism contract:
+
+* a record's **identity** is built only from deterministic coordinates —
+  a monotone sequence number, simulated time, phase/shard/actor/epoch
+  and the caller's attrs. Same seed ⇒ same record stream ⇒ same
+  :meth:`Tracer.digest`;
+* wall-clock measurements (task timings, map durations) ride in the
+  ``wall`` **sidecar**, which the digest and the identity projection
+  exclude — they are allowed to differ between otherwise identical
+  runs.
+
+Tracing is off by default and must cost near nothing when off: every
+instrumentation site guards with a single ``tracer is None`` check (or
+one :func:`get_tracer` call per operation, not per inner-loop step).
+``REPRO_TRACE=1`` flips the default on; the ``trace=`` hooks on
+:class:`~repro.sim.protocol.ProtocolConfig` and
+:class:`~repro.sim.campaign.Campaign` enable it per run regardless of
+the environment.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import time as _walltime
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import ConfigError
+from repro.observe.metrics import MetricsRegistry
+
+#: The environment switch: any value other than "" / "0" enables tracing.
+TRACE_ENV = "REPRO_TRACE"
+
+
+def tracing_enabled() -> bool:
+    """Whether the ``REPRO_TRACE`` environment switch is set."""
+    return os.environ.get(TRACE_ENV, "") not in ("", "0")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace entry.
+
+    ``attrs`` must be JSON-serializable and derived only from seeded
+    simulation state; ``wall`` holds wall-clock measurements and is
+    excluded from :meth:`identity` (and therefore from trace digests).
+    """
+
+    seq: int
+    name: str
+    time: float | None = None  # simulated (monotonic) time, never wall clock
+    phase: str | None = None
+    shard: int | None = None
+    actor: str | None = None
+    epoch: int | None = None
+    attrs: dict = field(default_factory=dict)
+    wall: dict = field(default_factory=dict)
+
+    def identity(self) -> dict:
+        """The deterministic projection the digest is computed over."""
+        payload: dict[str, object] = {"seq": self.seq, "name": self.name}
+        for key in ("time", "phase", "shard", "actor", "epoch"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        return payload
+
+    def to_json(self, include_wall: bool = True) -> str:
+        """Canonical compact JSON (sorted keys, no whitespace)."""
+        payload = self.identity()
+        if include_wall and self.wall:
+            payload["wall"] = self.wall
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class Tracer:
+    """Collects records and metrics for one (or more) runs.
+
+    ``clock`` optionally supplies a default simulated-time source (for
+    example a scheduler's ``now``); an explicit ``time=`` on
+    :meth:`event` always wins, and with neither the record is untimed
+    (logical ordering by ``seq`` alone — the game layers have no clock).
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.records: list[TraceRecord] = []
+        self.metrics = MetricsRegistry()
+        self._clock: Callable[[], float] | None = clock
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def set_clock(self, clock: Callable[[], float] | None) -> None:
+        """Install (or clear) the default simulated-time source."""
+        self._clock = clock
+
+    def event(
+        self,
+        name: str,
+        *,
+        time: float | None = None,
+        phase: str | None = None,
+        shard: int | None = None,
+        actor: str | None = None,
+        epoch: int | None = None,
+        wall: dict | None = None,
+        **attrs: object,
+    ) -> TraceRecord:
+        """Append one record; returns it (mostly for tests)."""
+        if time is None and self._clock is not None:
+            time = self._clock()
+        record = TraceRecord(
+            seq=self._seq,
+            name=name,
+            time=time,
+            phase=phase,
+            shard=shard,
+            actor=actor,
+            epoch=epoch,
+            attrs=attrs,
+            wall=wall or {},
+        )
+        self._seq += 1
+        self.records.append(record)
+        return record
+
+    @contextlib.contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        phase: str | None = None,
+        shard: int | None = None,
+        actor: str | None = None,
+        epoch: int | None = None,
+        **attrs: object,
+    ) -> Iterator[None]:
+        """Emit ``<name>.begin`` / ``<name>.end`` around a block.
+
+        The end record carries the wall-clock duration in its sidecar;
+        the begin/end pair itself (and everything emitted in between)
+        stays deterministic.
+        """
+        self.event(
+            f"{name}.begin", phase=phase, shard=shard, actor=actor, epoch=epoch
+        )
+        started = _walltime.perf_counter()
+        try:
+            yield
+        finally:
+            self.event(
+                f"{name}.end",
+                phase=phase,
+                shard=shard,
+                actor=actor,
+                epoch=epoch,
+                wall={"duration_s": round(_walltime.perf_counter() - started, 6)},
+                **attrs,
+            )
+
+    # ------------------------------------------------------------------
+    # inspection / export
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def records_named(self, name: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.name == name]
+
+    def count(self, name: str | None = None, phase: str | None = None) -> int:
+        """How many records match the given name and/or phase."""
+        return sum(
+            1
+            for r in self.records
+            if (name is None or r.name == name)
+            and (phase is None or r.phase == phase)
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the identity projection of every record."""
+        from repro.observe.export import trace_digest
+
+        return trace_digest(self.records)
+
+    def to_jsonl(self, include_wall: bool = True) -> str:
+        lines = [r.to_json(include_wall=include_wall) for r in self.records]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(
+        self, path: str | pathlib.Path, include_wall: bool = True
+    ) -> pathlib.Path:
+        """Persist the trace as one JSON object per line."""
+        target = pathlib.Path(path)
+        target.write_text(self.to_jsonl(include_wall=include_wall))
+        return target
+
+    def summary(self, title: str = "trace") -> str:
+        from repro.observe.export import render_trace_summary
+
+        return render_trace_summary(self, title=title)
+
+
+# ----------------------------------------------------------------------
+# the process-wide active tracer
+# ----------------------------------------------------------------------
+_ACTIVE: Tracer | None = None
+_ENV_DEFAULT: Tracer | None = None
+
+
+def set_tracer(tracer: Tracer | None) -> None:
+    """Install (or clear) the process-wide active tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+def get_tracer() -> Tracer | None:
+    """The tracer instrumentation sites should emit into, or ``None``.
+
+    Resolution order: an explicitly installed tracer (via
+    :func:`set_tracer` / :func:`use_tracer`, or a running simulation's
+    ``trace=`` hook) wins; otherwise ``REPRO_TRACE`` lazily creates one
+    process-wide default; otherwise tracing is off.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    if tracing_enabled():
+        global _ENV_DEFAULT
+        if _ENV_DEFAULT is None:
+            _ENV_DEFAULT = Tracer()
+        return _ENV_DEFAULT
+    return None
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scope an active-tracer override (nestable; restores the previous)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+def resolve_tracer(spec: "Tracer | bool | None") -> Tracer | None:
+    """Turn a config-level ``trace=`` value into a tracer (or ``None``).
+
+    ``Tracer`` instances pass through, ``True`` builds a fresh tracer,
+    ``False`` forces tracing off, and ``None`` defers to the
+    ``REPRO_TRACE`` environment switch — which also builds a *fresh*
+    tracer, so every run's digest covers exactly that run.
+    """
+    if isinstance(spec, Tracer):
+        return spec
+    if spec is True:
+        return Tracer()
+    if spec is False:
+        return None
+    if spec is None:
+        return Tracer() if tracing_enabled() else None
+    raise ConfigError(f"trace must be a Tracer, bool, or None: got {spec!r}")

@@ -6,22 +6,39 @@ every partition re-walks the same adjacency. Those answers only change
 when the graph itself changes, so a :class:`MemoCache` keyed by sender
 with explicit invalidation turns the O(degree) scans into dict hits.
 
-``REPRO_DISABLE_CACHE=1`` switches every cache off (used by the
-benchmarks to measure the un-memoized baseline, and available as a
-kill-switch when debugging staleness).
+``REPRO_DISABLE_CACHE=1`` is a **construction-time** kill-switch: the
+environment is snapshotted into ``enabled`` when a cache is built, so
+set it before the caches you care about exist (used by the benchmarks
+to measure the un-memoized baseline, and available when debugging
+staleness). Flipping the variable after a cache exists deliberately
+does nothing — a cache that consulted the environment on every ``get``
+would put a syscall-shaped lookup on the hottest path in the system.
+Use ``enabled=`` (or toggle ``cache.enabled``) for per-instance
+control after construction.
+
+Caches built with a ``name`` additionally register themselves in a
+process-wide weak registry so the observability layer
+(:mod:`repro.observe`) can report aggregate hit rates per cache site
+without keeping dead caches alive.
 """
 
 from __future__ import annotations
 
 import os
+import weakref
 from typing import Callable, Generic, Hashable, TypeVar
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
+#: Every live *named* cache, for observability snapshots. Weak so the
+#: registry never extends a cache's lifetime.
+_NAMED_CACHES: "weakref.WeakSet[MemoCache]" = weakref.WeakSet()
+
 
 def caching_disabled() -> bool:
-    """Whether the environment kill-switch is set."""
+    """Whether the environment kill-switch is set (checked at
+    construction time only; see the module docstring)."""
     return os.environ.get("REPRO_DISABLE_CACHE", "") not in ("", "0")
 
 
@@ -32,16 +49,37 @@ class MemoCache(Generic[K, V]):
     owner invalidates exactly the keys an update may have changed. The
     bound exists only as a memory backstop — when full, the cache is
     cleared wholesale (the workloads it serves re-warm in one pass).
+
+    ``enabled`` defaults to the construction-time environment snapshot
+    (``REPRO_DISABLE_CACHE``); changing the environment afterwards does
+    not affect existing caches. ``name`` opts the cache into the
+    observability registry (see :func:`named_cache_stats`).
     """
 
-    __slots__ = ("_data", "_max_entries", "enabled", "hits", "misses")
+    __slots__ = (
+        "_data",
+        "_max_entries",
+        "enabled",
+        "hits",
+        "misses",
+        "name",
+        "__weakref__",
+    )
 
-    def __init__(self, max_entries: int = 65_536, enabled: bool | None = None) -> None:
+    def __init__(
+        self,
+        max_entries: int = 65_536,
+        enabled: bool | None = None,
+        name: str | None = None,
+    ) -> None:
         self._data: dict[K, V] = {}
         self._max_entries = max_entries
         self.enabled = (not caching_disabled()) if enabled is None else enabled
         self.hits = 0
         self.misses = 0
+        self.name = name
+        if name is not None:
+            _NAMED_CACHES.add(self)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -72,3 +110,26 @@ class MemoCache(Generic[K, V]):
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+def named_cache_stats() -> dict[str, dict[str, float | int]]:
+    """Aggregate hit/miss/entry counts of live named caches, per name.
+
+    Multiple instances may share a name (e.g. one analysis cache per
+    call graph); their stats sum, and ``instances`` says how many were
+    live at snapshot time.
+    """
+    stats: dict[str, dict[str, float | int]] = {}
+    for cache in _NAMED_CACHES:
+        entry = stats.setdefault(
+            cache.name,
+            {"hits": 0, "misses": 0, "entries": 0, "instances": 0, "hit_rate": 0.0},
+        )
+        entry["hits"] += cache.hits
+        entry["misses"] += cache.misses
+        entry["entries"] += len(cache)
+        entry["instances"] += 1
+    for entry in stats.values():
+        total = entry["hits"] + entry["misses"]
+        entry["hit_rate"] = entry["hits"] / total if total else 0.0
+    return stats

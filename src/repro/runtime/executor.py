@@ -24,9 +24,11 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import time
 from typing import Callable, Iterable, Protocol, Sequence, TypeVar
 
 from repro.errors import SimulationError
+from repro.observe import get_tracer
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -49,13 +51,52 @@ class Executor(Protocol):
         ...
 
 
+def _serial_map(
+    fn: Callable[[T], R], tasks: Sequence[T], mode: str, workers: int
+) -> list[R]:
+    """An in-process ordered map, traced when a tracer is active.
+
+    The emitted record's identity carries only deterministic facts
+    (mode, task count, worker count); per-task wall timings ride in the
+    sidecar so traced runs stay digest-stable.
+    """
+    tracer = get_tracer()
+    if tracer is None or _IN_WORKER:
+        return [fn(item) for item in tasks]
+    task_walls: list[float] = []
+    results: list[R] = []
+    begin = time.perf_counter()
+    for item in tasks:
+        started = time.perf_counter()
+        results.append(fn(item))
+        task_walls.append(time.perf_counter() - started)
+    wall: dict[str, object] = {"duration_s": round(time.perf_counter() - begin, 6)}
+    if task_walls:
+        wall.update(
+            task_min_s=round(min(task_walls), 6),
+            task_max_s=round(max(task_walls), 6),
+            task_mean_s=round(sum(task_walls) / len(task_walls), 6),
+        )
+    tracer.event(
+        "executor.map",
+        phase="runtime",
+        mode=mode,
+        tasks=len(tasks),
+        workers=workers,
+        wall=wall,
+    )
+    tracer.metrics.counter("runtime.maps").inc()
+    tracer.metrics.counter("runtime.tasks").inc(len(tasks))
+    return results
+
+
 class SerialExecutor:
     """The reference executor: evaluate in the calling process."""
 
     workers = 1
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        return [fn(item) for item in items]
+        return _serial_map(fn, list(items), mode="serial", workers=1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
@@ -110,24 +151,42 @@ class ProcessExecutor:
             or len(tasks) < self.min_items
             or not fork_available()
         ):
-            return [fn(item) for item in tasks]
+            return _serial_map(fn, tasks, mode="process-degraded", workers=1)
         if _TASKS is not None:
             # Re-entrant map in the parent (an executor task spawned more
             # parent-side work): nested fan-out is disallowed, run serial.
-            return [fn(item) for item in tasks]
+            return _serial_map(fn, tasks, mode="process-nested", workers=1)
 
+        tracer = get_tracer()
+        begin = time.perf_counter() if tracer is not None else 0.0
+        pool_size = min(self.workers, len(tasks))
         context = multiprocessing.get_context("fork")
         _TASKS = (fn, tasks)
         try:
             with context.Pool(
-                processes=min(self.workers, len(tasks)),
+                processes=pool_size,
                 initializer=_mark_worker,
             ) as pool:
                 # Pool.map returns results in submission order regardless
                 # of completion order — the ordered-collection guarantee.
-                return pool.map(_run_task, range(len(tasks)), chunksize=1)
+                results = pool.map(_run_task, range(len(tasks)), chunksize=1)
         finally:
             _TASKS = None
+        if tracer is not None:
+            # Worker-side events die with the forked children; the parent
+            # records the fan-out itself (deterministic) and its wall time
+            # (sidecar only).
+            tracer.event(
+                "executor.map",
+                phase="runtime",
+                mode="process",
+                tasks=len(tasks),
+                workers=pool_size,
+                wall={"duration_s": round(time.perf_counter() - begin, 6)},
+            )
+            tracer.metrics.counter("runtime.maps").inc()
+            tracer.metrics.counter("runtime.tasks").inc(len(tasks))
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessExecutor(workers={self.workers})"
@@ -143,7 +202,20 @@ def executor_from_env() -> Executor:
     """
     mode = os.environ.get("REPRO_EXECUTOR", "auto").strip().lower()
     workers_env = os.environ.get("REPRO_WORKERS", "").strip()
-    workers = int(workers_env) if workers_env else None
+    workers: int | None = None
+    if workers_env:
+        try:
+            workers = int(workers_env)
+        except ValueError:
+            raise SimulationError(
+                f"REPRO_WORKERS={workers_env!r} is not an integer worker count"
+            ) from None
+        if workers < 1:
+            # Explicit in every mode: 0 workers in auto would silently
+            # degrade to serial instead of flagging the misconfiguration.
+            raise SimulationError(
+                f"REPRO_WORKERS={workers_env!r}: worker count must be >= 1"
+            )
     if mode not in ("serial", "process", "auto"):
         raise SimulationError(
             f"REPRO_EXECUTOR={mode!r}: expected serial, process, or auto"

@@ -9,11 +9,13 @@ per-epoch metrics accumulate into a campaign-level summary.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 from repro.chain.transaction import Transaction
 from repro.core.epoch import EpochManager, EpochPlan
 from repro.errors import SimulationError
+from repro.observe import Tracer, resolve_tracer, use_tracer
 from repro.runtime import Executor, get_default_executor
 from repro.sim.config import SimulationConfig, TimingModel
 from repro.sim.simulator import ShardedSimulation, SimulationResult
@@ -36,6 +38,8 @@ class CampaignResult:
     """The whole campaign's record."""
 
     epochs: list[EpochOutcome] = field(default_factory=list)
+    # The campaign's trace when observability was enabled (None otherwise).
+    trace: Tracer | None = None
 
     @property
     def total_confirmed(self) -> int:
@@ -67,12 +71,16 @@ class Campaign:
         block_capacity: int = 10,
         base_seed: int = 0,
         executor: Executor | None = None,
+        trace: Tracer | bool | None = None,
     ) -> None:
         self._manager = manager
         self._timing = timing or TimingModel.low_variance(interval=1.0, shape=24.0)
         self._block_capacity = block_capacity
         self._base_seed = base_seed
         self._executor = executor
+        # Observability hook: a Tracer, True (fresh tracer), False (off),
+        # or None to follow the REPRO_TRACE environment switch.
+        self._tracer = resolve_tracer(trace)
 
     def _simulate_epoch(
         self, planned: tuple[int, EpochPlan, int, int, int]
@@ -101,6 +109,16 @@ class Campaign:
         """
         if not traffic:
             raise SimulationError("a campaign needs at least one epoch of traffic")
+        scope = (
+            use_tracer(self._tracer)
+            if self._tracer is not None
+            else contextlib.nullcontext()
+        )
+        with scope:
+            return self._run(traffic)
+
+    def _run(self, traffic: list[list[Transaction]]) -> CampaignResult:
+        tracer = self._tracer
         planned: list[tuple[int, EpochPlan, int, int, int]] = []
         carryover: list[Transaction] = []
         for epoch_index, fresh in enumerate(traffic):
@@ -110,6 +128,16 @@ class Campaign:
                 continue
             plan = self._manager.run_epoch(epoch_index, workload)
             deferred = plan.deferred_transactions()
+            if tracer is not None:
+                tracer.event(
+                    "epoch.plan",
+                    phase="campaign",
+                    epoch=epoch_index,
+                    injected=len(fresh),
+                    carried_in=len(carryover),
+                    deferred_out=len(deferred),
+                    shards=len(plan.to_specs()),
+                )
             planned.append(
                 (epoch_index, plan, len(fresh), len(carryover), len(deferred))
             )
@@ -118,10 +146,23 @@ class Campaign:
         executor = self._executor or get_default_executor()
         results = executor.map(self._simulate_epoch, planned)
 
-        campaign = CampaignResult()
+        campaign = CampaignResult(trace=tracer)
         for (epoch_index, plan, injected, carried_in, deferred_out), result in zip(
             planned, results
         ):
+            if tracer is not None:
+                tracer.event(
+                    "epoch.result",
+                    phase="campaign",
+                    epoch=epoch_index,
+                    confirmed=result.confirmed_transactions,
+                    makespan=result.makespan,
+                    empty_blocks=result.total_empty_blocks,
+                )
+                tracer.metrics.counter("campaign.epochs").inc()
+                tracer.metrics.counter("campaign.confirmed").inc(
+                    result.confirmed_transactions
+                )
             campaign.epochs.append(
                 EpochOutcome(
                     epoch_index=epoch_index,

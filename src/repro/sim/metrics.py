@@ -40,7 +40,16 @@ def summarize_empty_blocks(
     """
     shards = result.shards
     if shard_ids is not None:
-        shards = {sid: shards[sid] for sid in shard_ids if sid in shards}
+        missing = sorted(sid for sid in set(shard_ids) if sid not in shards)
+        if missing:
+            # A silently narrowed scope under-reports the Fig. 3(c)
+            # metric; a wrong id list is a configuration bug, not a
+            # smaller summary.
+            raise SimulationError(
+                f"summarize_empty_blocks: unknown shard ids {missing} "
+                f"(result has shards {sorted(shards)})"
+            )
+        shards = {sid: shards[sid] for sid in shard_ids}
     if not shards:
         return EmptyBlockSummary(total=0, per_shard_mean=0.0, per_shard_max=0, shard_count=0)
     counts = [outcome.empty_blocks for outcome in shards.values()]

@@ -12,6 +12,7 @@ rejected — the integration surface the security tests exercise.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import random
 from dataclasses import dataclass, field
@@ -32,6 +33,7 @@ from repro.net.events import Scheduler
 from repro.net.messages import Message, MessageKind
 from repro.net.network import LatencyModel, Network
 from repro.net.node import FullNode
+from repro.observe import Tracer, resolve_tracer, use_tracer
 
 #: Mixed into the run seed so the fault RNG stream never mirrors the
 #: network's latency stream (both are seeded from ``config.seed``).
@@ -65,6 +67,12 @@ class ProtocolConfig:
         Leader-silence deadline: a node without a verified unification
         packet by this time falls back to solo (un-unified) mining so
         its shard keeps confirming instead of stalling.
+    trace:
+        Observability hook: a :class:`~repro.observe.Tracer` to emit
+        into, ``True`` for a fresh tracer, ``False`` to force tracing
+        off, or ``None`` (default) to follow the ``REPRO_TRACE``
+        environment switch. The resolved tracer is exposed as
+        :attr:`ProtocolSimulation.tracer` and on the result.
     """
 
     pow_params: PoWParameters = field(default_factory=PoWParameters.one_block_per_minute)
@@ -78,6 +86,7 @@ class ProtocolConfig:
     retransmit_blocks: int = 4
     leader_broadcast_delay: float = 0.0
     leader_timeout: float = 10.0
+    trace: Tracer | bool | None = None
 
 
 @dataclass
@@ -97,6 +106,8 @@ class ProtocolResult:
     fallbacks: int = 0
     equivocations_detected: int = 0
     fault_stats: FaultStats = field(default_factory=FaultStats)
+    # The run's trace when observability was enabled (None otherwise).
+    trace: Tracer | None = None
 
     def confirmed_count(self) -> int:
         return len(self.confirmed_tx_ids)
@@ -122,13 +133,18 @@ class ProtocolSimulation:
         self._miners = list(miners)
         self._transactions = list(transactions)
         self._behaviors = behaviors or {}
+        self._tracer = resolve_tracer(self._config.trace)
 
         # Fault layer: a no-op plan must leave the run bit-identical, so
         # the model (with its dedicated RNG) only changes behavior when
         # the plan actually injects something.
         plan = self._config.fault_plan
         self._fault_model = (
-            FaultModel(plan, seed=self._config.seed ^ _FAULT_SEED_SALT)
+            FaultModel(
+                plan,
+                seed=self._config.seed ^ _FAULT_SEED_SALT,
+                tracer=self._tracer,
+            )
             if plan is not None
             else None
         )
@@ -149,7 +165,8 @@ class ProtocolSimulation:
         # the leader broadcasts it over the (lossy) network at run time
         # and nodes verify its digest against the public commitment.
         self._unified = unified
-        self._replay = self._build_unified_replay() if unified else None
+        with self._trace_scope():
+            self._replay = self._build_unified_replay() if unified else None
         self._packet = self._replay.packet if self._replay is not None else None
         self._commitment = self._packet.digest() if self._packet is not None else None
         self._distribute_packet = unified and self._faults_active
@@ -164,11 +181,18 @@ class ProtocolSimulation:
         self._rewards = RewardLedger(policy=FeePolicy())
         self._nodes: dict[str, FullNode] = {}
         self._mining: dict[str, MiningProcess] = {}
-        self._build_nodes()
+        with self._trace_scope():
+            self._build_nodes()
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _trace_scope(self):
+        """Scope the run's tracer as process-active so nested layers
+        (selection replays, executors, caches) emit into the same trace."""
+        if self._tracer is None:
+            return contextlib.nullcontext()
+        return use_tracer(self._tracer)
     def _fractions(self) -> dict[int, float]:
         from repro.core.shard_formation import partition_transactions
 
@@ -302,6 +326,11 @@ class ProtocolSimulation:
     def network(self) -> Network:
         return self._network
 
+    @property
+    def tracer(self) -> Tracer | None:
+        """The run's resolved tracer (None when tracing is off)."""
+        return self._tracer
+
     def node(self, public: str) -> FullNode:
         return self._nodes[public]
 
@@ -310,6 +339,21 @@ class ProtocolSimulation:
     # ------------------------------------------------------------------
     def run(self) -> ProtocolResult:
         """Inject the workload, mine until it drains, report the outcome."""
+        with self._trace_scope():
+            return self._run()
+
+    def _run(self) -> ProtocolResult:
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.event(
+                "workload.inject",
+                time=self._scheduler.now,
+                phase="inject",
+                txs=len(self._transactions),
+                miners=len(self._miners),
+                faults_active=self._faults_active,
+                unified=self._unified,
+            )
         if self._faults_active:
             # Under faults transactions travel the lossy network: each is
             # announced by its (off-network) user and can be lost.
@@ -364,6 +408,31 @@ class ProtocolSimulation:
         stats.equivocations_detected = sum(
             n.stats.packets_rejected for n in self._nodes.values()
         )
+        if tracer is not None:
+            per_shard = self._per_shard_confirmed()
+            for shard, count in sorted(per_shard.items()):
+                tracer.event(
+                    "shard.confirmed",
+                    time=self._scheduler.now,
+                    phase="result",
+                    shard=shard,
+                    confirmed=count,
+                )
+            tracer.event(
+                "run.complete",
+                time=self._scheduler.now,
+                phase="result",
+                confirmed=len(confirmed),
+                blocks_rejected=rejected,
+                drops=stats.messages_lost,
+                retransmissions=stats.retransmissions,
+                fallbacks=stats.fallbacks,
+                equivocations_detected=stats.equivocations_detected,
+            )
+            tracer.metrics.gauge("protocol.duration_sim_s").set(
+                self._scheduler.now
+            )
+            tracer.metrics.gauge("protocol.confirmed").set(len(confirmed))
         return ProtocolResult(
             duration=self._scheduler.now,
             confirmed_tx_ids=confirmed,
@@ -376,6 +445,7 @@ class ProtocolSimulation:
             fallbacks=stats.fallbacks,
             equivocations_detected=stats.equivocations_detected,
             fault_stats=stats,
+            trace=tracer,
         )
 
     # ------------------------------------------------------------------
@@ -385,10 +455,27 @@ class ProtocolSimulation:
         """The leader distributes the unification packet (or deviates)."""
         leader = self._assignment.leader_public
         fault = self._config.fault_plan.leader if self._config.fault_plan else None
+        tracer = self._tracer
         if fault is not None and fault.withholds:
             # Leader silence: nobody receives anything; honest miners hit
             # the timeout below and fall back to solo mining.
+            if tracer is not None:
+                tracer.event(
+                    "leader.withhold",
+                    time=self._scheduler.now,
+                    phase="leader",
+                    actor=leader,
+                )
             return
+        if tracer is not None:
+            tracer.event(
+                "leader.equivocate" if fault is not None and fault.equivocates
+                else "leader.broadcast",
+                time=self._scheduler.now,
+                phase="leader",
+                actor=leader,
+                recipients=len(self._network.node_ids) - 1,
+            )
         if fault is not None and fault.equivocates:
             # The leader keeps the canonical packet for herself but sends
             # everyone else a tampered variant whose digest cannot match
@@ -416,8 +503,17 @@ class ProtocolSimulation:
 
     def _leader_timeout_check(self) -> None:
         """Leader-silence deadline: un-unified fallback instead of stalling."""
-        for node in self._nodes.values():
-            node.fallback_to_solo()
+        fallbacks = sum(1 for node in self._nodes.values() if node.fallback_to_solo())
+        if self._tracer is not None:
+            self._tracer.event(
+                "leader.timeout",
+                time=self._scheduler.now,
+                phase="leader",
+                fallbacks=fallbacks,
+            )
+            self._tracer.metrics.counter("protocol.leader_fallbacks").inc(
+                fallbacks
+            )
 
     def _node_crashed(self, public: str) -> bool:
         return self._fault_model is not None and self._fault_model.crashed(
@@ -434,9 +530,12 @@ class ProtocolSimulation:
         neither installed nor given up on it.
         """
         confirmed = self._confirmed_ids()
+        txs_reannounced = 0
+        blocks_regossiped = 0
         for tx in self._transactions:
             if tx.tx_id in confirmed:
                 continue
+            txs_reannounced += 1
             sent = self._network.broadcast(
                 MessageKind.TX, sender=f"user:{tx.sender}", payload=tx
             )
@@ -449,12 +548,23 @@ class ProtocolSimulation:
             for block in tip:
                 if block.header.height == 0:
                     continue
+                blocks_regossiped += 1
                 sent = self._network.broadcast(
                     MessageKind.BLOCK, sender=public, payload=block
                 )
                 if sent:
                     self._fault_model.note_retransmission()
-        self._retransmit_packet()
+        packet_resends = self._retransmit_packet()
+        if self._tracer is not None:
+            self._tracer.event(
+                "retransmit.sweep",
+                time=self._scheduler.now,
+                phase="retransmit",
+                txs_reannounced=txs_reannounced,
+                blocks_regossiped=blocks_regossiped,
+                packet_resends=packet_resends,
+            )
+            self._tracer.metrics.counter("protocol.retransmit_sweeps").inc()
         if self._scheduler.now + self._config.retransmit_interval <= (
             self._config.max_duration
         ):
@@ -462,21 +572,26 @@ class ProtocolSimulation:
                 self._config.retransmit_interval, self._retransmit_sweep
             )
 
-    def _retransmit_packet(self) -> None:
-        """An honest, live leader re-sends the packet to uncovered nodes."""
+    def _retransmit_packet(self) -> int:
+        """An honest, live leader re-sends the packet to uncovered nodes.
+
+        Returns how many re-sends were attempted (for the sweep trace).
+        """
         if not self._distribute_packet:
-            return
+            return 0
         fault = self._config.fault_plan.leader if self._config.fault_plan else None
         if fault is not None:
-            return  # a faulty leader does not helpfully retransmit
+            return 0  # a faulty leader does not helpfully retransmit
         leader = self._assignment.leader_public
         if self._node_crashed(leader):
-            return
+            return 0
+        resends = 0
         for public, node in self._nodes.items():
             if public == leader or node.has_unified_replay:
                 continue
             if node.stats.leader_fallbacks > 0:
                 continue  # already degraded to solo mining
+            resends += 1
             sent = self._network.send(
                 Message(
                     kind=MessageKind.LEADER_BROADCAST,
@@ -487,6 +602,7 @@ class ProtocolSimulation:
             )
             if sent:
                 self._fault_model.note_retransmission()
+        return resends
 
     def _schedule_mining(self, public: str) -> None:
         delay = self._mining[public].next_block_time()
@@ -512,6 +628,27 @@ class ProtocolSimulation:
         )
         node.adopt_block(block)
         self._rewards.credit_block(block)
+        if self._tracer is not None:
+            # The per-shard confirmation timeline: every forged block
+            # records how far its shard's confirmations have advanced.
+            tx_count = len(block.transactions)
+            self._tracer.event(
+                "block.forged",
+                time=self._scheduler.now,
+                phase="mine",
+                shard=node.shard_id,
+                actor=public,
+                height=block.header.height,
+                txs=tx_count,
+                empty=tx_count == 0,
+                confirmed_in_shard=len(node.ledger.confirmed_tx_ids()),
+            )
+            self._tracer.metrics.counter("protocol.blocks_forged").inc()
+            if tx_count == 0:
+                self._tracer.metrics.counter("protocol.blocks_empty").inc()
+            self._tracer.metrics.histogram("protocol.block_txs").observe(
+                tx_count
+            )
         self._network.broadcast(
             MessageKind.BLOCK, sender=public, payload=block, shard_id=None
         )

@@ -26,6 +26,12 @@ def binomial_fees(
 
     ``total_fees`` is the paper's ``N`` ("200 transaction fees in total"
     in the Sec. IV-D headline number).
+
+    Draws are clamped to >= 1, matching the floor of every other fee
+    model here (``uniform_fees`` has ``low=1``, ``exponential_fees``
+    takes ``max(1, ...)``): a zero-fee transaction earns utility
+    ``U_ij = f_j/(n_j+1) = 0`` in the selection game, indistinguishable
+    from not selecting at all, which distorts tie-breaking.
     """
     if count < 0:
         raise WorkloadError("fee count cannot be negative")
@@ -33,7 +39,7 @@ def binomial_fees(
         raise WorkloadError("total_fees must be positive")
     rng = random.Random(seed)
     return [
-        sum(1 for __ in range(total_fees) if rng.random() < 0.5)
+        max(1, sum(1 for __ in range(total_fees) if rng.random() < 0.5))
         for __ in range(count)
     ]
 

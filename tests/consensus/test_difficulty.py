@@ -73,6 +73,25 @@ class TestRetargetSimulation:
     def test_deterministic_under_seed(self):
         assert self.make(4, seed=9).run(50) == self.make(4, seed=9).run(50)
 
+    def test_warmup_fraction_zero_is_whole_run_mean(self):
+        """0.0 is a valid boundary: no samples are discarded."""
+        sim = self.make(miners=4, seed=6)
+        whole = sim.steady_state_interval(blocks=200, warmup_fraction=0.0)
+        intervals = self.make(miners=4, seed=6).run(200)
+        assert whole == pytest.approx(sum(intervals) / len(intervals))
+
+    def test_warmup_fraction_one_rejected(self):
+        """1.0 used to divide by zero (every sample discarded); it must
+        be rejected up front as a configuration error."""
+        with pytest.raises(ConfigError, match=r"warmup_fraction"):
+            self.make(miners=4).steady_state_interval(warmup_fraction=1.0)
+
+    def test_warmup_fraction_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            self.make(miners=4).steady_state_interval(warmup_fraction=1.5)
+        with pytest.raises(ConfigError):
+            self.make(miners=4).steady_state_interval(warmup_fraction=-0.1)
+
     def test_validation(self):
         with pytest.raises(ConfigError):
             RetargetSimulation(RetargetRule(), 0.0, 1, 100)

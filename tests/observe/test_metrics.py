@@ -1,0 +1,103 @@
+"""Tests for repro.observe.metrics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.observe import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ConfigError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(4.0)
+        g.set(2.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("h")
+        for v in (1, 2, 3, 4, 10):
+            h.observe(v)
+        assert h.count == 5
+        assert h.total == 20.0
+        assert h.mean == 4.0
+        assert h.minimum == 1.0
+        assert h.maximum == 10.0
+
+    def test_nearest_rank_quantiles(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 51.0  # nearest rank on 0..99 positions
+        assert h.quantile(1.0) == 100.0
+
+    def test_empty_histogram_is_all_zero(self):
+        h = Histogram("h")
+        assert h.summary() == {
+            "count": 0,
+            "total": 0.0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+        }
+
+    def test_quantile_validation(self):
+        with pytest.raises(ConfigError):
+            Histogram("h").quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_type_shadowing_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError, match="already registered as a counter"):
+            reg.gauge("x")
+        with pytest.raises(ConfigError, match="already registered as a counter"):
+            reg.histogram("x")
+
+    def test_snapshot_is_deterministic_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc(3)
+        reg.gauge("a.level").set(1.5)
+        reg.histogram("m.samples").observe(2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"z.count": 3}
+        assert snap["gauges"] == {"a.level": 1.5}
+        assert snap["histograms"]["m.samples"]["count"] == 1
+        json.dumps(snap)  # must serialize cleanly
+
+    def test_render_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("blocks").inc()
+        reg.histogram("rounds").observe(4)
+        rendered = reg.render()
+        assert "blocks = 1" in rendered
+        assert "rounds: n=1" in rendered
+
+    def test_render_empty(self):
+        assert MetricsRegistry().render() == "  (no metrics)"

@@ -49,3 +49,45 @@ class TestMemoCache:
         monkeypatch.setenv("REPRO_DISABLE_CACHE", "0")
         assert not caching_disabled()
         assert MemoCache().enabled is True
+
+    def test_kill_switch_is_snapshotted_at_construction(self, monkeypatch):
+        """The documented contract: REPRO_DISABLE_CACHE is read once when
+        a cache is constructed. Flipping it afterwards does not change an
+        existing cache's behavior — only new caches see the new value."""
+        monkeypatch.delenv("REPRO_DISABLE_CACHE", raising=False)
+        live = MemoCache()
+        monkeypatch.setenv("REPRO_DISABLE_CACHE", "1")
+        # The pre-existing cache keeps caching...
+        values = iter([1, 2])
+        assert live.get("k", lambda: next(values)) == 1
+        assert live.get("k", lambda: next(values)) == 1
+        assert live.enabled is True
+        # ...while a cache built under the flag is born disabled.
+        assert MemoCache().enabled is False
+
+    def test_explicit_enabled_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_CACHE", "1")
+        assert MemoCache(enabled=True).enabled is True
+
+
+class TestNamedCacheStats:
+    def test_named_caches_aggregate_by_name(self):
+        from repro.runtime.cache import named_cache_stats
+
+        a = MemoCache(name="test.stats.alpha")
+        b = MemoCache(name="test.stats.alpha")
+        a.get("k", lambda: 1)
+        a.get("k", lambda: 1)
+        b.get("k", lambda: 2)
+        stats = named_cache_stats()["test.stats.alpha"]
+        assert stats["instances"] == 2
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["entries"] == 2
+        assert stats["hit_rate"] == 1 / 3
+
+    def test_anonymous_caches_are_not_tracked(self):
+        from repro.runtime.cache import named_cache_stats
+
+        MemoCache().get("k", lambda: 1)
+        assert None not in named_cache_stats()

@@ -117,6 +117,29 @@ class TestEnvSelection:
         with pytest.raises(SimulationError):
             executor_from_env()
 
+    def test_non_integer_workers_rejected(self, monkeypatch):
+        """REPRO_WORKERS=max used to escape as a raw ValueError from
+        int(); it must surface as a SimulationError naming the variable
+        and the offending value."""
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "max")
+        with pytest.raises(SimulationError, match=r"REPRO_WORKERS='max'"):
+            executor_from_env()
+
+    def test_zero_workers_rejected_in_auto_mode(self, monkeypatch):
+        """Zero used to slip through auto mode (os.cpu_count() was never
+        consulted) and blow up later inside ProcessExecutor."""
+        monkeypatch.setenv("REPRO_EXECUTOR", "auto")
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(SimulationError, match=r"REPRO_WORKERS='0'"):
+            executor_from_env()
+
+    def test_negative_workers_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(SimulationError, match="must be >= 1"):
+            executor_from_env()
+
 
 class TestDefaultExecutor:
     def test_use_executor_scopes_the_override(self):

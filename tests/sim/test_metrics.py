@@ -56,9 +56,15 @@ class TestEmptyBlockSummary:
         )
         assert summary.total == 10
 
-    def test_missing_ids_ignored(self):
-        summary = summarize_empty_blocks(result_with({1: 4}), shard_ids=[1, 99])
-        assert summary.shard_count == 1
+    def test_unknown_ids_rejected(self):
+        """Unknown shard ids raise instead of being silently dropped — a
+        typo'd id must not shrink the summary unnoticed."""
+        with pytest.raises(SimulationError, match=r"unknown shard ids \[99\]"):
+            summarize_empty_blocks(result_with({1: 4}), shard_ids=[1, 99])
+
+    def test_unknown_ids_all_listed(self):
+        with pytest.raises(SimulationError, match=r"\[7, 99\]"):
+            summarize_empty_blocks(result_with({1: 4}), shard_ids=[99, 7])
 
     def test_empty_selection(self):
         summary = summarize_empty_blocks(result_with({}), shard_ids=[])

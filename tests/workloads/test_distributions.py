@@ -41,6 +41,21 @@ class TestBinomialFees:
         fees = binomial_fees(100, total_fees=20, seed=5)
         assert all(0 <= f <= 20 for f in fees)
 
+    def test_never_emits_zero_fee(self):
+        """Property: every fee is >= 1, matching the uniform and
+        exponential generators. A zero fee makes its transaction's
+        selection share f_j/(n_j+1) identically zero regardless of
+        congestion, silently distorting the game."""
+        for seed in range(50):
+            fees = binomial_fees(200, total_fees=2, seed=seed)
+            assert min(fees) >= 1
+
+    def test_zero_draws_clamp_to_one(self):
+        # total_fees=1 over 2 Bernoulli trials hits raw draw 0 often;
+        # the clamp must lift those to 1, never drop below.
+        fees = binomial_fees(500, total_fees=1, seed=11)
+        assert set(fees) <= {1}
+
     def test_validation(self):
         with pytest.raises(WorkloadError):
             binomial_fees(-1)
