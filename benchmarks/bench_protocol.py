@@ -1,0 +1,175 @@
+"""Protocol-engine scale sweep: fast engine vs. the frozen legacy engine.
+
+Runs the full-node protocol simulation (Sec. III-C workflow end to end)
+over a nodes × txs scale grid, twice per profile:
+
+* **legacy** — :mod:`repro.net.legacy`: dataclass-ordered heap entries,
+  a closure per scheduled send, per-recipient latency sampling, full
+  mempool re-sorts, replay-from-genesis reorgs, and the O(chain)
+  confirmed-set walk the stop condition re-runs after every event;
+* **fast** — the shipped engine: tuple-keyed heap, pre-sampled broadcast
+  fan-out, cached fee-ranked mempool view, tip-delta reorgs, and
+  version-cached confirmed tracking.
+
+Both legs run the identical seeded workload in the same process, and a
+separate traced pass asserts **bit-identical trace digests** across the
+two engines before any timing is recorded — the speedup is only
+meaningful because the engines provably compute the same run. The
+emitted ``BENCH_protocol.json`` carries per-profile wall times,
+events/sec, the headline speedup on the broadcast-heavy profile, and the
+digest-parity verdict; CI gates on both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # direct script execution
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import timed, write_bench_record
+from repro.consensus.miner import MinerIdentity
+from repro.sim.protocol import ProtocolConfig, ProtocolSimulation
+from repro.workloads.generators import uniform_contract_workload
+
+SEED = 11
+
+#: (name, miners, txs, contract_shards). The last profile is the
+#: broadcast-heavy one the acceptance speedup is measured on: every
+#: mined block fans out to every node, so event count — and the legacy
+#: stop-condition's per-event canonical walk — grows with nodes², which
+#: is exactly the regime the fast engine targets.
+PROFILES: list[tuple[str, int, int, int]] = [
+    ("small", 10, 200, 3),
+    ("medium", 16, 400, 3),
+    ("broadcast-heavy", 32, 1200, 4),
+]
+
+QUICK_PROFILES: list[tuple[str, int, int, int]] = [
+    ("small", 10, 200, 3),
+    ("broadcast-heavy", 16, 400, 3),
+]
+
+
+def _build(engine: str, miners: int, txs: int, shards: int, trace: bool):
+    identities = [MinerIdentity.create(f"m{i}") for i in range(miners)]
+    workload = uniform_contract_workload(
+        total_txs=txs, contract_shards=shards, seed=SEED
+    )
+    config = ProtocolConfig(
+        seed=SEED, engine=engine, trace=trace, max_duration=500_000.0
+    )
+    return ProtocolSimulation(identities, workload, config=config)
+
+
+def _digest(engine: str, miners: int, txs: int, shards: int) -> str:
+    sim = _build(engine, miners, txs, shards, trace=True)
+    result = sim.run()
+    return result.trace.digest()
+
+
+def _timed_leg(
+    engine: str, miners: int, txs: int, shards: int, repeats: int
+) -> tuple[float, int, int]:
+    """Best-of wall time plus (confirmed, events_fired) of the last run."""
+    confirmed = events = 0
+
+    def leg() -> None:
+        nonlocal confirmed, events
+        sim = _build(engine, miners, txs, shards, trace=False)
+        result = sim.run()
+        confirmed = len(result.confirmed_tx_ids)
+        events = sim.scheduler.events_fired
+
+    wall = timed(leg, repeats=repeats)
+    return wall, confirmed, events
+
+
+def run_sweep(quick: bool = False) -> dict:
+    profiles = QUICK_PROFILES if quick else PROFILES
+    repeats = 1 if quick else 2
+    rows = []
+    parity = True
+    for name, miners, txs, shards in profiles:
+        fast_digest = _digest("fast", miners, txs, shards)
+        legacy_digest = _digest("legacy", miners, txs, shards)
+        profile_parity = fast_digest == legacy_digest
+        parity = parity and profile_parity
+        fast_s, fast_confirmed, fast_events = _timed_leg(
+            "fast", miners, txs, shards, repeats
+        )
+        legacy_s, legacy_confirmed, legacy_events = _timed_leg(
+            "legacy", miners, txs, shards, repeats
+        )
+        assert fast_confirmed == legacy_confirmed, (
+            f"{name}: engines confirmed different tx counts "
+            f"({fast_confirmed} vs {legacy_confirmed})"
+        )
+        assert fast_events == legacy_events, (
+            f"{name}: engines fired different event counts "
+            f"({fast_events} vs {legacy_events})"
+        )
+        rows.append(
+            {
+                "profile": name,
+                "miners": miners,
+                "txs": txs,
+                "events": fast_events,
+                "confirmed": fast_confirmed,
+                "fast_s": round(fast_s, 4),
+                "legacy_s": round(legacy_s, 4),
+                "fast_events_per_s": round(fast_events / fast_s, 1),
+                "legacy_events_per_s": round(legacy_events / legacy_s, 1),
+                "speedup": round(legacy_s / fast_s, 2),
+                "digest_parity": profile_parity,
+                "trace_digest": fast_digest,
+            }
+        )
+    headline = rows[-1]["speedup"]
+    return {
+        "quick": quick,
+        "seed": SEED,
+        "profiles": rows,
+        "speedup": headline,
+        "digest_parity": parity,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller grid, single repetition (the CI smoke profile)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_sweep(quick=args.quick)
+    path = write_bench_record("protocol", payload)
+
+    header = (
+        f"{'profile':>16} {'miners':>6} {'txs':>6} {'events':>8} "
+        f"{'fast_s':>8} {'legacy_s':>9} {'ev/s fast':>10} {'speedup':>8}"
+    )
+    print(header)
+    for row in payload["profiles"]:
+        print(
+            f"{row['profile']:>16} {row['miners']:>6} {row['txs']:>6} "
+            f"{row['events']:>8} {row['fast_s']:>8.3f} {row['legacy_s']:>9.3f} "
+            f"{row['fast_events_per_s']:>10.0f} {row['speedup']:>7.2f}x"
+        )
+    print(
+        f"headline speedup (broadcast-heavy): {payload['speedup']:.2f}x | "
+        f"digest parity: {payload['digest_parity']} | wrote {path}"
+    )
+
+    if not payload["digest_parity"]:
+        print("FAIL: fast and legacy engines produced different trace digests")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ transactions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.chain.transaction import Transaction
 from repro.crypto.hashing import hash_items
@@ -90,8 +91,14 @@ class Block:
             timestamp=0.0,
         )
 
-    @property
+    @cached_property
     def block_hash(self) -> str:
+        """The header hash, computed once per block object.
+
+        A broadcast shares one :class:`Block` instance across every
+        receiver, so caching here turns N×(ledger inserts + orphan
+        checks) hash recomputations into one.
+        """
         return self.header.block_hash()
 
     @property
@@ -105,9 +112,20 @@ class Block:
         return sum(tx.fee for tx in self.transactions)
 
     def commits_to_body(self) -> bool:
-        """Verify the header's Merkle root matches the body."""
-        tree = MerkleTree([tx.tx_id for tx in self.transactions])
-        return tree.root == self.header.tx_root
+        """Verify the header's Merkle root matches the body.
+
+        Memoized on the (immutable) instance: every receiver of a
+        broadcast block runs this check, but the Merkle tree only needs
+        to be rebuilt once per block object.
+        """
+        cached = self.__dict__.get("_commits_to_body")
+        if cached is None:
+            tree = MerkleTree([tx.tx_id for tx in self.transactions])
+            cached = tree.root == self.header.tx_root
+            # Direct __dict__ write: the dataclass is frozen, but the
+            # memo is derived state, not a field (and excluded from ==).
+            self.__dict__["_commits_to_body"] = cached
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

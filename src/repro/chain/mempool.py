@@ -5,18 +5,45 @@ miners always select transactions with the highest fees" (Sec. II-B). The
 mempool therefore offers fee-ordered selection (the serializing behaviour
 the paper criticises) alongside plain set operations the sharding core
 uses to install game-assigned selections.
+
+``select_by_fee`` used to re-sort the whole pool on every call — one
+full O(P log P) sort per mining event. The pool now keeps a cached
+fee-ranked view: built lazily on first selection, maintained by ordered
+insertion on :meth:`add`, and invalidated *lazily* on removal (selection
+skips entries that left the pool; the view is compacted once more than
+half of it is stale). The uncached sort survives as
+:meth:`select_by_fee_sorted`, the differential oracle the mempool tests
+compare against, and the code path the legacy protocol engine uses.
 """
 
 from __future__ import annotations
 
+from bisect import insort
+
 from repro.chain.transaction import Transaction
 
 
-class Mempool:
-    """An ordered pool of pending transactions."""
+def _fee_rank(tx: Transaction) -> tuple[int, str]:
+    """Sort key: highest fee first, ties broken by tx id."""
+    return (-tx.fee, tx.tx_id)
 
-    def __init__(self) -> None:
+
+class Mempool:
+    """An ordered pool of pending transactions.
+
+    ``fee_cache=False`` disables the ranked-view cache and routes
+    :meth:`select_by_fee` through the original full sort — used by the
+    legacy protocol engine so benchmark baselines measure the shipped
+    pre-optimization behavior.
+    """
+
+    def __init__(self, fee_cache: bool = True) -> None:
         self._pool: dict[str, Transaction] = {}
+        self._fee_cache = fee_cache
+        # The ranked view: pool transactions in (-fee, tx_id) order plus
+        # up to ``_ranked_stale`` entries that already left the pool.
+        self._ranked: list[Transaction] | None = None
+        self._ranked_stale = 0
 
     def __len__(self) -> int:
         return len(self._pool)
@@ -29,6 +56,8 @@ class Mempool:
         if tx.tx_id in self._pool:
             return False
         self._pool[tx.tx_id] = tx
+        if self._ranked is not None:
+            insort(self._ranked, tx, key=_fee_rank)
         return True
 
     def add_many(self, txs: list[Transaction]) -> int:
@@ -37,14 +66,29 @@ class Mempool:
 
     def remove(self, tx_id: str) -> Transaction | None:
         """Remove and return a transaction, or None when absent."""
-        return self._pool.pop(tx_id, None)
+        removed = self._pool.pop(tx_id, None)
+        if removed is not None:
+            self._note_removed(1)
+        return removed
 
     def remove_confirmed(self, tx_ids: set[str]) -> int:
         """Drop every transaction confirmed elsewhere; returns the count."""
         present = tx_ids & self._pool.keys()
         for tx_id in present:
             del self._pool[tx_id]
+        self._note_removed(len(present))
         return len(present)
+
+    def _note_removed(self, count: int) -> None:
+        """Lazy invalidation: removed entries stay in the ranked view
+        (selection skips them) until they outnumber the live half."""
+        if self._ranked is None or count == 0:
+            return
+        self._ranked_stale += count
+        if self._ranked_stale * 2 > len(self._ranked):
+            pool = self._pool
+            self._ranked = [tx for tx in self._ranked if tx.tx_id in pool]
+            self._ranked_stale = 0
 
     def pending(self) -> list[Transaction]:
         """All pending transactions in insertion order."""
@@ -55,8 +99,31 @@ class Mempool:
 
         Ties break on tx id so that *all* miners produce the identical
         ordering — exactly the duplicated-selection pathology the paper's
-        congestion game removes.
+        congestion game removes. Served from the cached ranked view;
+        bit-identical to :meth:`select_by_fee_sorted` by construction
+        (and by differential test).
         """
+        if limit < 0:
+            raise ValueError("selection limit must be non-negative")
+        if not self._fee_cache:
+            return self.select_by_fee_sorted(limit)
+        ranked = self._ranked
+        if ranked is None:
+            ranked = self._ranked = sorted(self._pool.values(), key=_fee_rank)
+            self._ranked_stale = 0
+        if not self._ranked_stale:
+            return ranked[:limit]
+        pool = self._pool
+        picked: list[Transaction] = []
+        for tx in ranked:
+            if len(picked) >= limit:
+                break
+            if tx.tx_id in pool:
+                picked.append(tx)
+        return picked
+
+    def select_by_fee_sorted(self, limit: int) -> list[Transaction]:
+        """The original full-sort selection, kept as the oracle."""
         if limit < 0:
             raise ValueError("selection limit must be non-negative")
         ranked = sorted(self._pool.values(), key=lambda tx: (-tx.fee, tx.tx_id))
@@ -68,6 +135,8 @@ class Mempool:
 
     def clear(self) -> None:
         self._pool.clear()
+        self._ranked = None
+        self._ranked_stale = 0
 
     def total_fees(self) -> int:
         """Sum of pending fees (the congestion game's resource pool)."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.chain.account import Account, AccountKind
 from repro.chain.contract import SmartContract
 from repro.chain.transaction import Transaction, TransactionKind
+from repro.crypto.hashing import hash_items
 from repro.errors import (
     InsufficientBalanceError,
     NonceError,
@@ -22,6 +23,25 @@ from repro.errors import (
     UnknownContractError,
     ValidationError,
 )
+
+
+class BlockUndo:
+    """The exact inverse of one applied block body.
+
+    Records first-touch snapshots of every account and contract the
+    block mutated: ``accounts`` maps an address to its prior
+    ``(balance, nonce)`` — or ``None`` when the block created it — and
+    ``contracts`` maps a contract address to its prior invocation count.
+    :meth:`WorldState.revert_block_body` replays these to step the flat
+    state back one block, which is what makes tip-delta reorgs possible
+    without replaying the whole chain.
+    """
+
+    __slots__ = ("accounts", "contracts")
+
+    def __init__(self) -> None:
+        self.accounts: dict[str, tuple[int, int] | None] = {}
+        self.contracts: dict[str, int] = {}
 
 
 @dataclass
@@ -100,7 +120,12 @@ class WorldState:
                     f"tx {tx.short_id()}: contract {tx.contract[:10]} condition not met"
                 )
 
-    def apply_transaction(self, tx: Transaction, miner: str | None = None) -> None:
+    def apply_transaction(
+        self,
+        tx: Transaction,
+        miner: str | None = None,
+        journal: BlockUndo | None = None,
+    ) -> None:
         """Apply ``tx``: move value, pay the fee, bump the sender nonce.
 
         Contract calls route value through the contract account to the
@@ -108,45 +133,88 @@ class WorldState:
         user A and that smart contract account"). Raises a
         :class:`ValidationError` subclass and leaves state untouched when
         the transaction is invalid.
+
+        With a ``journal``, every account/contract is snapshotted on
+        first touch *after* validation passes, so the journal is the
+        exact inverse of the mutations actually made.
         """
         self._check(tx)
         sender = self.account(tx.sender)
+        if journal is not None and tx.sender not in journal.accounts:
+            journal.accounts[tx.sender] = (sender.balance, sender.nonce)
         sender.debit(tx.amount + tx.fee)
         sender.bump_nonce()
 
         if tx.kind is TransactionKind.CONTRACT_CALL:
             contract = self.contract(tx.contract)
+            if journal is not None and tx.contract not in journal.contracts:
+                journal.contracts[tx.contract] = contract.invocation_count
             contract.record_invocation()
             beneficiary_addr = contract.beneficiary
         else:
             beneficiary_addr = tx.recipient
 
         beneficiary = self.accounts.get(beneficiary_addr)
+        if journal is not None and beneficiary_addr not in journal.accounts:
+            journal.accounts[beneficiary_addr] = (
+                None
+                if beneficiary is None
+                else (beneficiary.balance, beneficiary.nonce)
+            )
         if beneficiary is None:
             beneficiary = self.create_account(beneficiary_addr)
         beneficiary.credit(tx.amount)
 
         if miner is not None and tx.fee:
             miner_account = self.accounts.get(miner)
+            if journal is not None and miner not in journal.accounts:
+                journal.accounts[miner] = (
+                    None
+                    if miner_account is None
+                    else (miner_account.balance, miner_account.nonce)
+                )
             if miner_account is None:
                 miner_account = self.create_account(miner)
             miner_account.credit(tx.fee)
 
     def apply_block_body(
-        self, transactions: tuple[Transaction, ...], miner: str
+        self,
+        transactions: tuple[Transaction, ...],
+        miner: str,
+        journal: BlockUndo | None = None,
     ) -> list[Transaction]:
         """Apply every valid transaction in a block body, in order.
 
         Returns the transactions that failed validation (a correct miner
         produces none; the list is how block validation detects cheaters).
+        Pass a :class:`BlockUndo` ``journal`` to record the inverse for
+        :meth:`revert_block_body`.
         """
         rejected: list[Transaction] = []
         for tx in transactions:
             try:
-                self.apply_transaction(tx, miner=miner)
+                self.apply_transaction(tx, miner=miner, journal=journal)
             except ValidationError:
                 rejected.append(tx)
         return rejected
+
+    def revert_block_body(self, undo: BlockUndo) -> None:
+        """Step the state back one block using its :class:`BlockUndo`.
+
+        Accounts the block created are deleted; every other touched
+        account gets its prior balance/nonce restored, and invoked
+        contracts their prior invocation counts. Applying a block with a
+        journal and reverting it is an exact round trip — the tip-delta
+        reorg tests hold this against the replay-from-genesis oracle.
+        """
+        for address, prior in undo.accounts.items():
+            if prior is None:
+                self.accounts.pop(address, None)
+            else:
+                account = self.accounts[address]
+                account.balance, account.nonce = prior
+        for address, invocation_count in undo.contracts.items():
+            self.contracts[address].invocation_count = invocation_count
 
     # ------------------------------------------------------------------
     # snapshots
@@ -171,3 +239,27 @@ class WorldState:
     def total_supply(self) -> int:
         """Sum of all balances — conserved by fee-recycling transitions."""
         return sum(account.balance for account in self.accounts.values())
+
+    def fingerprint(self) -> str:
+        """A stable digest of the full state (order-independent).
+
+        Used by the differential tests to compare the tip-delta reorg
+        path against the replay-from-genesis oracle.
+        """
+        return hash_items(
+            [
+                tuple(
+                    sorted(
+                        (a.address, a.kind.value, a.balance, a.nonce)
+                        for a in self.accounts.values()
+                    )
+                ),
+                tuple(
+                    sorted(
+                        (c.address, c.beneficiary, c.invocation_count)
+                        for c in self.contracts.values()
+                    )
+                ),
+            ],
+            domain="world-state",
+        )

@@ -115,12 +115,22 @@ class MinerAssignment:
         return sizes
 
     def verifier(self):
-        """A ``(public, shard) -> bool`` closure for block validation."""
+        """A ``(public, shard) -> bool`` closure for block validation.
+
+        Memoized: the draw is a pure function of public data that block
+        validation re-checks for the same (miner, shard) pair on every
+        block that miner broadcasts, so each pair is derived once.
+        """
+        cache: dict[tuple[str, int], bool] = {}
 
         def verify(public: str, claimed_shard: int) -> bool:
-            return verify_membership(
-                public, claimed_shard, self.randomness, self.fractions
-            )
+            key = (public, claimed_shard)
+            cached = cache.get(key)
+            if cached is None:
+                cached = cache[key] = verify_membership(
+                    public, claimed_shard, self.randomness, self.fractions
+                )
+            return cached
 
         return verify
 

@@ -77,8 +77,16 @@ class UnificationPacket:
     selection_config: SelectionGameConfig | None = None
 
     def digest(self) -> str:
-        """A binding commitment to the packet contents."""
-        return hash_items(
+        """A binding commitment to the packet contents.
+
+        Memoized on the (immutable) instance: the commitment is checked
+        on every leader-broadcast delivery and retransmission, but the
+        packet never changes, so the hash is computed once per object.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is not None:
+            return cached
+        cached = hash_items(
             [
                 self.epoch_seed,
                 self.leader_public,
@@ -94,6 +102,11 @@ class UnificationPacket:
             ],
             domain="unification-packet",
         )
+        # Direct __dict__ write: legal on a frozen dataclass (frozen only
+        # guards __setattr__), and the memo is not a field so == and
+        # hash semantics are untouched.
+        self.__dict__["_digest"] = cached
+        return cached
 
     def derived_seed(self, purpose: str) -> int:
         """A deterministic integer seed for one algorithm's RNG.
@@ -114,6 +127,14 @@ class UnifiedReplay:
 
     def __init__(self, packet: UnificationPacket) -> None:
         self._packet = packet
+        # (shard_id, miner_public) -> assigned tx-id set, or None when
+        # the unified run assigns the packer nothing. Block verification
+        # consults the same assignment for every block a miner ever
+        # broadcasts; the replay output is immutable, so the set is
+        # built once per packer (False marks "not computed yet").
+        self._assigned_sets: dict[
+            tuple[int, str], frozenset[str] | None | bool
+        ] = {}
 
     @property
     def packet(self) -> UnificationPacket:
@@ -228,10 +249,15 @@ class UnifiedReplay:
         """
         if not block.transactions:
             return True
-        shard_id = block.header.shard_id
-        try:
-            assigned = set(self.assigned_tx_ids(shard_id, block.header.miner))
-        except UnificationError:
+        key = (block.header.shard_id, block.header.miner)
+        assigned = self._assigned_sets.get(key, False)
+        if assigned is False:
+            try:
+                assigned = frozenset(self.assigned_tx_ids(*key))
+            except UnificationError:
+                assigned = None
+            self._assigned_sets[key] = assigned
+        if assigned is None:
             return False
         return all(tx.tx_id in assigned for tx in block.transactions)
 

@@ -53,6 +53,14 @@ class FaultModel:
         self.plan = plan or FaultPlan.none()
         self.stats = FaultStats()
         self._rng = random.Random(seed)
+        # Crash schedules indexed by node: `crashed` runs on every send
+        # *and* delivery, so a linear scan of the whole plan per message
+        # dominates large runs. Pure reindexing — no RNG, no behavior
+        # change.
+        self._crashes_by_node: dict[str, list] = {}
+        for crash in self.plan.crashes:
+            self._crashes_by_node.setdefault(crash.node_id, []).append(crash)
+        self._has_partitions = bool(self.plan.partitions)
         # The injected-event log: every decision that altered traffic is
         # emitted so a trace can cross-reference injected faults against
         # the protocol's observed reactions (retransmits, fallbacks).
@@ -76,13 +84,15 @@ class FaultModel:
     # ------------------------------------------------------------------
     def crashed(self, node_id: str, time: float) -> bool:
         """Whether ``node_id`` is down at ``time``."""
-        return any(
-            crash.node_id == node_id and crash.crashed_at(time)
-            for crash in self.plan.crashes
-        )
+        crashes = self._crashes_by_node.get(node_id)
+        if not crashes:
+            return False
+        return any(crash.crashed_at(time) for crash in crashes)
 
     def partitioned(self, a: str, b: str, time: float) -> bool:
         """Whether an active partition separates ``a`` from ``b``."""
+        if not self._has_partitions:
+            return False
         return any(p.separates(a, b, time) for p in self.plan.partitions)
 
     # ------------------------------------------------------------------

@@ -4,62 +4,153 @@ A classic calendar queue: events carry a firing time and a callback;
 :class:`Scheduler` pops them in time order and advances the simulation
 clock. Ties break on a monotone sequence number so simultaneous events
 fire in scheduling order, keeping runs deterministic.
+
+This is the hot loop of every protocol simulation, so the engine is
+built for throughput:
+
+* heap entries are ``(time, sequence, event)`` **tuples** — tuple
+  comparison short-circuits on the floats and never allocates, unlike
+  ``@dataclass(order=True)`` whose ``__lt__`` builds two tuples per
+  heap sift;
+* events are **slotted** records dispatched as ``callback(*args)``, so
+  callers schedule bound methods with arguments instead of allocating a
+  closure per send;
+* the live-event count is maintained **incrementally** (push/pop/cancel
+  each adjust an integer), so ``len(queue)`` / ``Scheduler.pending`` is
+  O(1) — callers polling it in loops used to be accidentally quadratic;
+* cancelled entries are **lazily compacted**: once more than half of a
+  non-trivial heap is dead weight the heap is rebuilt in one O(n)
+  filter + heapify pass instead of dribbling tombstones through every
+  subsequent sift.
+
+The pre-optimization engine survives as
+:class:`repro.net.legacy.LegacyScheduler` and is held to bit-identical
+behavior by the engine-parity tests.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SimulationError
 
-EventCallback = Callable[[], None]
+EventCallback = Callable[..., None]
+
+#: Compaction trigger: heaps smaller than this are never compacted.
+_COMPACT_MIN_SIZE = 64
+#: Compaction trigger: cancelled fraction of the heap that forces a rebuild.
+_COMPACT_FRACTION = 0.5
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback; ordering is (time, sequence)."""
+    """A scheduled callback with arguments; a cancellable handle.
 
-    time: float
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    Ordering lives in the queue's ``(time, sequence)`` tuple keys, not
+    on the event itself.
+    """
+
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: EventCallback,
+        args: tuple = (),
+        queue: "EventQueue | None" = None,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event so the scheduler skips it when popped."""
+        """Mark the event so the scheduler skips it when popped.
+
+        Idempotent; the owning queue's live count drops immediately and
+        the tombstone is swept out by the next lazy compaction.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancel()
+
+    def fire(self) -> None:
+        self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled else "live"
+        return f"Event(t={self.time:.6f}, seq={self.sequence}, {state})"
 
 
 class EventQueue:
-    """A heap of pending events."""
+    """A heap of pending events with an O(1) live count."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        # Entries are (time, sequence, event): sequence is unique, so
+        # tuple comparison never reaches the (incomparable) event.
+        self._heap: list[tuple[float, int, Event]] = []
+        self._next_seq = 0
+        self._live = 0
+        self._cancelled_in_heap = 0
+        self.compactions = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Live (non-cancelled) events — maintained incrementally."""
+        return self._live
 
-    def push(self, time: float, callback: EventCallback) -> Event:
-        event = Event(time=time, sequence=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+    def push(self, time: float, callback: EventCallback, args: tuple = ()) -> Event:
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback, args, queue=self)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
         return event
 
     def pop(self) -> Event | None:
         """Pop the earliest live event, or None when drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
+                self._live -= 1
+                # Detach: a cancel() after the pop must not touch the
+                # live/tombstone counters — the event already left.
+                event._queue = None
                 return event
+            self._cancelled_in_heap -= 1
         return None
 
     def peek_time(self) -> float | None:
         """The firing time of the earliest live event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        return heap[0][0] if heap else None
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_SIZE
+            and self._cancelled_in_heap > len(self._heap) * _COMPACT_FRACTION
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstone in one filter + heapify pass."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1
 
 
 class Scheduler:
@@ -81,21 +172,32 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
+        """Live scheduled events — O(1)."""
         return len(self._queue)
 
-    def schedule_at(self, time: float, callback: EventCallback) -> Event:
-        """Schedule an absolute-time event; it must not be in the past."""
+    @property
+    def compactions(self) -> int:
+        """How many times the queue swept out cancelled tombstones."""
+        return self._queue.compactions
+
+    def schedule_at(self, time: float, callback: EventCallback, *args) -> Event:
+        """Schedule an absolute-time event; it must not be in the past.
+
+        Extra positional ``args`` are passed to ``callback`` when the
+        event fires — schedule bound methods directly instead of
+        wrapping them in closures.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time:.3f}s: clock is already at {self._now:.3f}s"
             )
-        return self._queue.push(time, callback)
+        return self._queue.push(time, callback, args)
 
-    def schedule_in(self, delay: float, callback: EventCallback) -> Event:
+    def schedule_in(self, delay: float, callback: EventCallback, *args) -> Event:
         """Schedule an event ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self._queue.push(self._now + delay, callback)
+        return self._queue.push(self._now + delay, callback, args)
 
     def run(
         self,
@@ -112,20 +214,21 @@ class Scheduler:
         can read ``now`` as the actual completion time;
         ``max_events`` is a runaway-loop guard.
         """
+        queue = self._queue
         fired = 0
         while True:
             if stop_condition is not None and stop_condition():
                 return self._now
-            next_time = self._queue.peek_time()
+            next_time = queue.peek_time()
             if next_time is None:
                 break
             if until is not None and next_time > until:
                 self._now = until
                 return self._now
-            event = self._queue.pop()
+            event = queue.pop()
             assert event is not None
             self._now = event.time
-            event.callback()
+            event.callback(*event.args)
             self._events_fired += 1
             fired += 1
             if fired >= max_events:

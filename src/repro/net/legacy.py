@@ -1,0 +1,222 @@
+"""The pre-optimization protocol engine, frozen as a differential oracle.
+
+This module preserves the original discrete-event engine and network
+send path exactly as they were before the fast-path rewrite of
+:mod:`repro.net.events` / :mod:`repro.net.network`:
+
+* ``LegacyEvent`` — an ``@dataclass(order=True)`` heap entry whose
+  ordering comparisons allocate tuples on every heap sift;
+* ``LegacyEventQueue`` — ``__len__`` scans the whole heap;
+* ``LegacyScheduler`` — schedules closures (``*args`` are wrapped in a
+  lambda, reproducing the old per-send allocation);
+* ``LegacyNetwork`` — per-recipient ``send()`` calls that each allocate
+  a message plus a delivery lambda.
+
+Two jobs:
+
+1. **differential oracle** — parity tests run the same seeded protocol
+   workload through both engines and assert bit-identical trace digests
+   (the RNG draw-order contract of :class:`repro.net.network.Network`);
+2. **benchmark baseline** — ``benchmarks/bench_protocol.py`` measures
+   the fast engine's speedup against this one, so the recorded speedup
+   compares algorithms on the same interpreter and hardware.
+
+Do not "optimize" this module; its slowness is the point.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.net.messages import Message, MessageKind
+from repro.net.network import Network
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class LegacyEvent:
+    """A scheduled callback; ordering is (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+
+class LegacyEventQueue:
+    """A heap of pending events (O(heap) ``__len__``, as shipped)."""
+
+    def __init__(self) -> None:
+        self._heap: list[LegacyEvent] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, callback: EventCallback) -> LegacyEvent:
+        event = LegacyEvent(
+            time=time, sequence=next(self._counter), callback=callback
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> LegacyEvent | None:
+        """Pop the earliest live event, or None when drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """The firing time of the earliest live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class LegacyScheduler:
+    """The original closure-dispatch scheduler.
+
+    API-compatible with :class:`repro.net.events.Scheduler` — extra
+    ``*args`` are wrapped in a lambda, exactly reproducing the per-event
+    closure allocation the fast engine removed.
+    """
+
+    def __init__(self) -> None:
+        self._queue = LegacyEventQueue()
+        self._now = 0.0
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    @property
+    def compactions(self) -> int:
+        """The legacy queue never compacts; kept for API parity."""
+        return 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback, *args) -> LegacyEvent:
+        """Schedule an absolute-time event; it must not be in the past."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.3f}s: clock is already at {self._now:.3f}s"
+            )
+        if args:
+            callback = lambda fn=callback, a=args: fn(*a)  # noqa: E731
+        return self._queue.push(time, callback)
+
+    def schedule_in(self, delay: float, callback, *args) -> LegacyEvent:
+        """Schedule an event ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        if args:
+            callback = lambda fn=callback, a=args: fn(*a)  # noqa: E731
+        return self._queue.push(self._now + delay, callback)
+
+    def run(
+        self,
+        until: float | None = None,
+        stop_condition: Callable[[], bool] | None = None,
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Drain the queue; returns the final clock value."""
+        fired = 0
+        while True:
+            if stop_condition is not None and stop_condition():
+                return self._now
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                return self._now
+            event = self._queue.pop()
+            assert event is not None
+            self._now = event.time
+            event.callback()
+            self._events_fired += 1
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {max_events} events"
+                )
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+
+class LegacyNetwork(Network):
+    """The original per-send path: one message + one lambda per recipient."""
+
+    def send(self, message: Message) -> bool:
+        """Deliver one message after a sampled latency (lambda dispatch)."""
+        target = self.node(message.recipient)
+        delay = self._latency.sample(self._rng)
+        if self._faults is not None:
+            decision = self._faults.filter_send(message, self._scheduler.now)
+            if decision.dropped:
+                return False
+            delay += decision.extra_delay
+            if decision.duplicated:
+                self._scheduler.schedule_in(
+                    delay + decision.duplicate_delay,
+                    lambda: self._deliver(target, message),
+                )
+        self._scheduler.schedule_in(delay, lambda: self._deliver(target, message))
+        return True
+
+    def broadcast(self, message_kind: MessageKind, sender: str, payload: object,
+                  shard_id: int | None = None) -> int:
+        """Send a payload to every node except the sender, one send each."""
+        sent = 0
+        for recipient in self._nodes:
+            if recipient == sender:
+                continue
+            sent += self.send(
+                Message(
+                    kind=message_kind,
+                    sender=sender,
+                    recipient=recipient,
+                    payload=payload,
+                    shard_id=shard_id,
+                )
+            )
+        return sent
+
+    def multicast(self, message_kind: MessageKind, sender: str, payload: object,
+                  recipients: list[str], shard_id: int | None = None) -> int:
+        """Send a payload to an explicit recipient list; returns sends made."""
+        sent = 0
+        for recipient in recipients:
+            if recipient == sender:
+                continue
+            sent += self.send(
+                Message(
+                    kind=message_kind,
+                    sender=sender,
+                    recipient=recipient,
+                    payload=payload,
+                    shard_id=shard_id,
+                )
+            )
+        return sent

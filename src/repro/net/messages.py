@@ -46,9 +46,13 @@ _CROSS_SHARD_KINDS = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
-    """An addressed payload with a kind tag and optional shard context."""
+    """An addressed payload with a kind tag and optional shard context.
+
+    Slotted: one message is allocated per scheduled delivery on the
+    broadcast fast path, so the per-instance ``__dict__`` is dropped.
+    """
 
     kind: MessageKind
     sender: str

@@ -7,7 +7,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import NetworkError
+from repro.errors import ConfigError, NetworkError
 from repro.net.events import Scheduler
 from repro.net.messages import Message, MessageKind
 
@@ -24,15 +24,45 @@ class LatencyModel:
     the defaults approximate intra-region datacenter latency. Set both
     fields to zero for logical-time experiments where propagation is
     irrelevant (e.g. the large-scale game simulations of Sec. VI-E).
+
+    Both fields are validated at construction: a negative base used to
+    surface much later as a "cannot schedule in the past"
+    ``SimulationError`` deep inside the event loop, and a negative
+    jitter was silently ignored by :meth:`sample`.
     """
 
     base_seconds: float = 0.05
     jitter_seconds: float = 0.05
 
+    def __post_init__(self) -> None:
+        if self.base_seconds < 0:
+            raise ConfigError(
+                f"latency base_seconds must be non-negative: {self.base_seconds}"
+            )
+        if self.jitter_seconds < 0:
+            raise ConfigError(
+                f"latency jitter_seconds must be non-negative: {self.jitter_seconds}"
+            )
+
     def sample(self, rng: random.Random) -> float:
         if self.jitter_seconds <= 0:
             return self.base_seconds
         return self.base_seconds + rng.uniform(0.0, self.jitter_seconds)
+
+    def sample_many(self, rng: random.Random, count: int) -> list[float]:
+        """``count`` delays in one pass.
+
+        Draw-order contract: consumes exactly the same RNG stream as
+        ``count`` successive :meth:`sample` calls (and nothing at all
+        when jitter is zero), so fan-out fast paths that pre-sample a
+        latency vector stay bit-identical to per-send sampling.
+        """
+        base = self.base_seconds
+        jitter = self.jitter_seconds
+        if jitter <= 0:
+            return [base] * count
+        uniform = rng.uniform
+        return [base + uniform(0.0, jitter) for __ in range(count)]
 
 
 class Network:
@@ -48,6 +78,14 @@ class Network:
     crashed endpoints). The fault model owns its own RNG, so omitting it
     or installing a no-op plan leaves the latency stream — and therefore
     the whole run — bit-identical.
+
+    **RNG draw-order contract.** The latency RNG is consumed in exactly
+    one order: one draw per scheduled recipient, in recipient order
+    (registration order for :meth:`broadcast`, list order for
+    :meth:`multicast`). The fan-out fast paths pre-sample that latency
+    vector in a single pass and must never reorder or batch draws
+    differently — the engine-parity tests pin this against the
+    pre-optimization :class:`repro.net.legacy.LegacyNetwork`.
     """
 
     def __init__(
@@ -108,9 +146,11 @@ class Network:
             if decision.duplicated:
                 self._scheduler.schedule_in(
                     delay + decision.duplicate_delay,
-                    lambda: self._deliver(target, message),
+                    self._deliver,
+                    target,
+                    message,
                 )
-        self._scheduler.schedule_in(delay, lambda: self._deliver(target, message))
+        self._scheduler.schedule_in(delay, self._deliver, target, message)
         return True
 
     def broadcast(self, message_kind: MessageKind, sender: str, payload: object,
@@ -118,8 +158,31 @@ class Network:
         """Send a payload to every node except the sender.
 
         Returns the number of sends actually scheduled (the fault layer
-        may swallow some).
+        may swallow some). Without a fault model this takes the fan-out
+        fast path: the shared payload is wrapped once per recipient and
+        scheduled against a pre-sampled latency vector, with bound-method
+        dispatch instead of a closure per send.
         """
+        if self._faults is None:
+            nodes = self._nodes
+            recipients = [nid for nid in nodes if nid != sender]
+            delays = self._latency.sample_many(self._rng, len(recipients))
+            schedule = self._scheduler.schedule_in
+            deliver = self._deliver
+            for recipient, delay in zip(recipients, delays):
+                schedule(
+                    delay,
+                    deliver,
+                    nodes[recipient],
+                    Message(
+                        kind=message_kind,
+                        sender=sender,
+                        recipient=recipient,
+                        payload=payload,
+                        shard_id=shard_id,
+                    ),
+                )
+            return len(recipients)
         sent = 0
         for recipient in self._nodes:
             if recipient == sender:
@@ -140,7 +203,35 @@ class Network:
         """Send a payload to an explicit recipient list; returns sends made.
 
         The sender is skipped and does not count toward the fan-out.
+        Fault-free sends take the same pre-sampled fast path as
+        :meth:`broadcast`, preserving the per-recipient draw order.
         """
+        if self._faults is None:
+            nodes = self._nodes
+            actual = [nid for nid in recipients if nid != sender]
+            targets = []
+            for recipient in actual:
+                try:
+                    targets.append(nodes[recipient])
+                except KeyError:
+                    raise NetworkError(f"unknown node {recipient}") from None
+            delays = self._latency.sample_many(self._rng, len(actual))
+            schedule = self._scheduler.schedule_in
+            deliver = self._deliver
+            for recipient, target, delay in zip(actual, targets, delays):
+                schedule(
+                    delay,
+                    deliver,
+                    target,
+                    Message(
+                        kind=message_kind,
+                        sender=sender,
+                        recipient=recipient,
+                        payload=payload,
+                        shard_id=shard_id,
+                    ),
+                )
+            return len(actual)
         sent = 0
         for recipient in recipients:
             if recipient == sender:

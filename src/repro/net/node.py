@@ -5,9 +5,17 @@ call graph of one miner. It implements the receive-side protocol exactly
 as the paper describes it:
 
 * on a transaction — check whether the sender belongs to this node's
-  shard (via the shard map / call graph) and pool it if so;
+  shard (via the shard map / call graph) and pool it so;
 * on a block — run the two verifications (packer really in the claimed
   shard; claimed shard == own shard), then record, apply and de-pool.
+
+The world-state bookkeeping is **tip-delta**: every applied canonical
+block leaves a :class:`~repro.chain.state.BlockUndo` journal entry, so a
+reorg unwinds only the losing branch and applies only the winning one —
+O(reorg depth) instead of the old replay-from-genesis O(chain) rebuild.
+The replay survives as :meth:`_rebuild_canonical_state`, the
+differential oracle (``fast_paths=False`` routes every reorg through
+it, which is what the legacy benchmark engine measures).
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from repro.chain.block import Block
 from repro.chain.callgraph import CallGraph
 from repro.chain.ledger import Ledger
 from repro.chain.mempool import Mempool
-from repro.chain.state import WorldState
+from repro.chain.state import BlockUndo, WorldState
 from repro.chain.transaction import Transaction
 from repro.chain.validation import BlockValidator, BlockVerdict
 from repro.consensus.miner import (
@@ -38,6 +46,8 @@ TxShardClassifier = Callable[[Transaction], int | None]
 
 class Node(abc.ABC):
     """Anything addressable on the network."""
+
+    __slots__ = ()
 
     @property
     @abc.abstractmethod
@@ -70,6 +80,28 @@ class NodeStats:
 class FullNode(Node):
     """One miner's complete local view and protocol behavior."""
 
+    __slots__ = (
+        "identity",
+        "shard_id",
+        "behavior",
+        "mempool",
+        "ledger",
+        "state",
+        "callgraph",
+        "stats",
+        "_behavior_overridden",
+        "_pristine_state",
+        "_tx_classifier",
+        "_block_validator",
+        "_selection_replay",
+        "_packet_commitment",
+        "_orphans",
+        "_orphan_count",
+        "_fast_paths",
+        "_applied",
+        "_applied_index",
+    )
+
     #: Cap on buffered out-of-order blocks (drop-oldest beyond this).
     MAX_ORPHANS = 64
 
@@ -83,12 +115,13 @@ class FullNode(Node):
         state: WorldState | None = None,
         selection_replay: object | None = None,
         packet_commitment: str | None = None,
+        fast_paths: bool = True,
     ) -> None:
         self.identity = identity
         self.shard_id = shard_id
         self._behavior_overridden = behavior is not None
         self.behavior = behavior or HonestBehavior()
-        self.mempool = Mempool()
+        self.mempool = Mempool(fee_cache=fast_paths)
         self.ledger = Ledger(shard_id=shard_id)
         self.state = state if state is not None else WorldState()
         # Pre-genesis snapshot: the base for rebuilding the flat state
@@ -112,6 +145,11 @@ class FullNode(Node):
         # lets the chain heal once the missing parent shows up.
         self._orphans: dict[str, list[Block]] = {}
         self._orphan_count = 0
+        # Tip-delta state: the applied canonical suffix as (hash, undo)
+        # pairs plus a hash -> position index for O(1) fork-point lookup.
+        self._fast_paths = fast_paths
+        self._applied: list[tuple[str, BlockUndo]] = []
+        self._applied_index: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Node protocol
@@ -121,11 +159,12 @@ class FullNode(Node):
         return self.identity.public
 
     def receive(self, message: Message) -> None:
-        if message.kind is MessageKind.TX:
+        kind = message.kind
+        if kind is MessageKind.TX:
             self.on_transaction(message.payload)
-        elif message.kind is MessageKind.BLOCK:
+        elif kind is MessageKind.BLOCK:
             self.on_block(message.payload)
-        elif message.kind is MessageKind.LEADER_BROADCAST:
+        elif kind is MessageKind.LEADER_BROADCAST:
             self.on_unification_packet(message.payload)
         # Other kinds (stat reports etc.) are consumed by the coordinator
         # layer; a bare full node ignores them.
@@ -187,23 +226,84 @@ class FullNode(Node):
             return
         new_head = self.ledger.head_hash
         if new_head == block.block_hash and block.header.parent_hash == old_head:
-            # Plain canonical extension: apply incrementally.
-            self.state.apply_block_body(
-                block.transactions, miner=block.header.miner
-            )
+            # Plain canonical extension: apply incrementally, journaled
+            # so a later reorg can unwind it in O(1) per block.
+            self._apply_canonical_block(block)
             self.mempool.remove_confirmed(
                 {tx.tx_id for tx in block.transactions}
             )
         elif new_head != old_head:
-            self._rebuild_canonical_state()
+            if self._fast_paths:
+                self._apply_reorg(new_head)
+            else:
+                self._rebuild_canonical_state()
         # A side-branch block leaves the state untouched: the flat state
         # tracks the canonical chain only, otherwise transactions confirmed
         # on a losing branch would poison sender nonces and never mine.
         self.stats.blocks_recorded += 1
         self._connect_orphans(block.block_hash)
 
+    def _apply_canonical_block(self, block: Block) -> None:
+        """Apply one block at the tip, journaling its inverse."""
+        if not self._fast_paths:
+            self.state.apply_block_body(
+                block.transactions, miner=block.header.miner
+            )
+            return
+        undo = BlockUndo()
+        self.state.apply_block_body(
+            block.transactions, miner=block.header.miner, journal=undo
+        )
+        self._applied_index[block.block_hash] = len(self._applied)
+        self._applied.append((block.block_hash, undo))
+
+    def _apply_reorg(self, new_head: str) -> None:
+        """Tip-delta reorg: unwind to the fork point, apply the winner.
+
+        Behaviorally identical to :meth:`_rebuild_canonical_state` (the
+        differential oracle) but touches only the branch delta: undo
+        journals revert the losing suffix, then the winning suffix is
+        applied in order. Mempool semantics match the oracle — newly
+        canonical transactions are de-pooled, reverted ones are *not*
+        re-pooled (the replay never re-added them either).
+        """
+        ledger = self.ledger
+        index = self._applied_index
+        applied = self._applied
+        genesis = ledger.genesis_hash
+        # Winning suffix: new head back to the deepest applied ancestor.
+        suffix: list[Block] = []
+        cursor = new_head
+        while cursor != genesis and cursor not in index:
+            block = ledger.block(cursor)
+            suffix.append(block)
+            cursor = block.header.parent_hash
+        fork_pos = index.get(cursor, -1)
+        # Unwind the losing suffix, newest first.
+        for block_hash, undo in reversed(applied[fork_pos + 1:]):
+            self.state.revert_block_body(undo)
+            del index[block_hash]
+        del applied[fork_pos + 1:]
+        # Apply the winning suffix, oldest first.
+        confirmed: set[str] = set()
+        state = self.state
+        for block in reversed(suffix):
+            undo = BlockUndo()
+            state.apply_block_body(
+                block.transactions, miner=block.header.miner, journal=undo
+            )
+            index[block.block_hash] = len(applied)
+            applied.append((block.block_hash, undo))
+            confirmed.update(tx.tx_id for tx in block.transactions)
+        self.mempool.remove_confirmed(confirmed)
+
     def _rebuild_canonical_state(self) -> None:
-        """Re-derive the world state from the canonical chain after a reorg."""
+        """Re-derive the world state from the canonical chain after a reorg.
+
+        The pre-optimization full replay, kept as the differential
+        oracle for :meth:`_apply_reorg` (and as the live code path when
+        ``fast_paths=False``).
+        """
         state = self._pristine_state.snapshot()
         confirmed: set[str] = set()
         for canonical in self.ledger.canonical_chain():
@@ -215,6 +315,20 @@ class FullNode(Node):
             confirmed.update(tx.tx_id for tx in canonical.transactions)
         self.state = state
         self.mempool.remove_confirmed(confirmed)
+
+    def state_oracle_fingerprint(self) -> str:
+        """Fingerprint of a from-scratch canonical replay (the oracle).
+
+        Never touches the live state; differential tests compare this
+        against ``self.state.fingerprint()`` after tip-delta runs.
+        """
+        state = self._pristine_state.snapshot()
+        for canonical in self.ledger.canonical_chain():
+            if canonical.transactions:
+                state.apply_block_body(
+                    canonical.transactions, miner=canonical.header.miner
+                )
+        return state.fingerprint()
 
     def _buffer_orphan(self, block: Block) -> None:
         parent = block.header.parent_hash
@@ -248,7 +362,9 @@ class FullNode(Node):
         mismatch (tampered relay, equivocating leader) is rejected and
         counted. On acceptance the node builds the local replay and — if
         the selection game assigned it a transaction set — adopts the
-        game-assigned packing behavior.
+        game-assigned packing behavior. The digest is memoized on the
+        packet, so retransmitted copies of the same object cost a dict
+        hit instead of a full recomputation.
         """
         from repro.core.unification import UnifiedReplay
 
@@ -343,7 +459,7 @@ class FullNode(Node):
     # views
     # ------------------------------------------------------------------
     def confirmed_tx_count(self) -> int:
-        return len(self.ledger.confirmed_transactions())
+        return len(self.ledger.confirmed_tx_ids())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

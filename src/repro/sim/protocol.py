@@ -26,7 +26,7 @@ from repro.consensus.pow import MiningProcess, PoWParameters
 from repro.consensus.rewards import RewardLedger
 from repro.core.miner_assignment import MinerAssignment, assign_miners
 from repro.core.shard_formation import ShardMap, form_shards
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.faults.model import FaultModel
 from repro.faults.plan import FaultPlan, FaultStats
 from repro.net.events import Scheduler
@@ -73,6 +73,15 @@ class ProtocolConfig:
         off, or ``None`` (default) to follow the ``REPRO_TRACE``
         environment switch. The resolved tracer is exposed as
         :attr:`ProtocolSimulation.tracer` and on the result.
+    engine:
+        Which protocol engine runs the event loop. ``"fast"`` (default)
+        is the optimized path: tuple-keyed heap, fan-out broadcast with
+        pre-sampled latency vectors, incremental confirmed-set tracking,
+        tip-delta reorgs, cached fee-ranked mempool view. ``"legacy"``
+        is the frozen pre-optimization engine
+        (:mod:`repro.net.legacy`), kept as the differential oracle and
+        the benchmark baseline. Same seed ⇒ bit-identical trace digests
+        across both engines (the engine-parity tests enforce this).
     """
 
     pow_params: PoWParameters = field(default_factory=PoWParameters.one_block_per_minute)
@@ -87,6 +96,14 @@ class ProtocolConfig:
     leader_broadcast_delay: float = 0.0
     leader_timeout: float = 10.0
     trace: Tracer | bool | None = None
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("fast", "legacy"):
+            raise ConfigError(
+                f"unknown protocol engine {self.engine!r} "
+                "(expected 'fast' or 'legacy')"
+            )
 
 
 @dataclass
@@ -171,13 +188,28 @@ class ProtocolSimulation:
         self._commitment = self._packet.digest() if self._packet is not None else None
         self._distribute_packet = unified and self._faults_active
 
-        self._scheduler = Scheduler()
-        self._network = Network(
-            self._scheduler,
-            latency=self._config.latency,
-            seed=self._config.seed,
-            faults=self._fault_model,
-        )
+        # Engine selection: the fast path is the default; the frozen
+        # legacy engine replays the identical seeded run through the
+        # pre-optimization scheduler/network/mempool/reorg code.
+        self._fast_engine = self._config.engine == "fast"
+        if self._fast_engine:
+            self._scheduler = Scheduler()
+            self._network = Network(
+                self._scheduler,
+                latency=self._config.latency,
+                seed=self._config.seed,
+                faults=self._fault_model,
+            )
+        else:
+            from repro.net.legacy import LegacyNetwork, LegacyScheduler
+
+            self._scheduler = LegacyScheduler()
+            self._network = LegacyNetwork(
+                self._scheduler,
+                latency=self._config.latency,
+                seed=self._config.seed,
+                faults=self._fault_model,
+            )
         self._rewards = RewardLedger(policy=FeePolicy())
         self._nodes: dict[str, FullNode] = {}
         self._mining: dict[str, MiningProcess] = {}
@@ -291,6 +323,7 @@ class ProtocolSimulation:
                     None if self._distribute_packet else self._replay
                 ),
                 packet_commitment=self._commitment,
+                fast_paths=self._fast_engine,
             )
             self._network.register(node)
             self._nodes[miner.public] = node
@@ -325,6 +358,11 @@ class ProtocolSimulation:
     @property
     def network(self) -> Network:
         return self._network
+
+    @property
+    def scheduler(self):
+        """The run's event scheduler (fast or legacy engine)."""
+        return self._scheduler
 
     @property
     def tracer(self) -> Tracer | None:
@@ -386,8 +424,30 @@ class ProtocolSimulation:
 
         target_ids = self._relevant_tx_ids()
 
-        def drained() -> bool:
-            return self._confirmed_ids() >= target_ids
+        if self._fast_engine:
+            # The stop condition runs after EVERY event. Recompute the
+            # confirmed union only when some chain's head actually moved
+            # (the ledgers' version counters are bumped on head changes);
+            # between head changes the cached verdict is exact.
+            ledgers = [node.ledger for node in self._nodes.values()]
+            cache = {"stamp": -1, "done": False}
+
+            def drained() -> bool:
+                stamp = sum(ledger.version for ledger in ledgers)
+                if stamp != cache["stamp"]:
+                    cache["stamp"] = stamp
+                    confirmed: set[str] = set()
+                    for ledger in ledgers:
+                        confirmed |= ledger.confirmed_tx_ids()
+                    cache["done"] = confirmed >= target_ids
+                return cache["done"]
+
+        else:
+            # Legacy stop condition: the original full canonical-chain
+            # walk per node per event (the accidentally quadratic path
+            # the fast engine replaces).
+            def drained() -> bool:
+                return self._confirmed_ids() >= target_ids
 
         self._scheduler.run(
             until=self._config.max_duration, stop_condition=drained
@@ -428,11 +488,26 @@ class ProtocolSimulation:
                 retransmissions=stats.retransmissions,
                 fallbacks=stats.fallbacks,
                 equivocations_detected=stats.equivocations_detected,
+                # Engine internals ride in the wall sidecar: they are
+                # allowed to differ between engines (the legacy queue
+                # never compacts), and the sidecar is excluded from the
+                # trace digest the parity tests compare.
+                wall={
+                    "engine": self._config.engine,
+                    "events_fired": self._scheduler.events_fired,
+                    "compactions": self._scheduler.compactions,
+                },
             )
             tracer.metrics.gauge("protocol.duration_sim_s").set(
                 self._scheduler.now
             )
             tracer.metrics.gauge("protocol.confirmed").set(len(confirmed))
+            tracer.metrics.gauge("protocol.events_fired").set(
+                self._scheduler.events_fired
+            )
+            tracer.metrics.gauge("protocol.queue_compactions").set(
+                self._scheduler.compactions
+            )
         return ProtocolResult(
             duration=self._scheduler.now,
             confirmed_tx_ids=confirmed,
@@ -606,7 +681,10 @@ class ProtocolSimulation:
 
     def _schedule_mining(self, public: str) -> None:
         delay = self._mining[public].next_block_time()
-        self._scheduler.schedule_in(delay, lambda: self._mine(public))
+        # Bound-method dispatch: the fast engine passes args through the
+        # event record; the legacy scheduler wraps them in the original
+        # per-event lambda.
+        self._scheduler.schedule_in(delay, self._mine, public)
 
     def _mine(self, public: str) -> None:
         node = self._nodes[public]
@@ -667,8 +745,13 @@ class ProtocolSimulation:
 
     def _confirmed_ids(self) -> set[str]:
         confirmed: set[str] = set()
-        for node in self._nodes.values():
-            confirmed |= node.ledger.confirmed_tx_ids()
+        if self._fast_engine:
+            for node in self._nodes.values():
+                confirmed |= node.ledger.confirmed_tx_ids()
+        else:
+            # The legacy engine pays the original O(chain) walk per node.
+            for node in self._nodes.values():
+                confirmed |= node.ledger.confirmed_tx_ids_scan()
         return confirmed
 
     def _per_shard_confirmed(self) -> dict[int, int]:

@@ -120,3 +120,72 @@ class TestStatistics:
         block = extend(ledger, ledger.head_hash, 1)
         assert ledger.knows(block.block_hash)
         assert not ledger.knows("0" * 64)
+
+
+class TestIncrementalViews:
+    """The incremental canonical/confirmed views vs. the walk oracle."""
+
+    def test_incremental_matches_scan_through_reorg(self):
+        ledger = Ledger()
+        tx_a, tx_b, tx_c = make_call("0xua"), make_call("0xub"), make_call("0xuc")
+        a1 = extend(ledger, ledger.head_hash, 1, txs=[tx_a], miner="pkA")
+        assert ledger.confirmed_tx_ids() == ledger.confirmed_tx_ids_scan()
+        # A competing branch from genesis overtakes the head.
+        b1 = Block.build(Block.genesis(0).block_hash, "pkB", 0, 1, 1.1, [tx_b])
+        ledger.add_block(b1)
+        b2 = extend(ledger, b1.block_hash, 2, txs=[tx_c], miner="pkB")
+        assert ledger.head_hash == b2.block_hash
+        assert ledger.confirmed_tx_ids() == ledger.confirmed_tx_ids_scan()
+        assert tx_a.tx_id not in ledger.confirmed_tx_ids()
+        # The original branch fights back and wins again.
+        a2 = extend(ledger, a1.block_hash, 2, txs=[tx_b], miner="pkA")
+        a3 = extend(ledger, a2.block_hash, 3, miner="pkA")
+        assert ledger.head_hash == a3.block_hash
+        assert ledger.confirmed_tx_ids() == ledger.confirmed_tx_ids_scan()
+        assert tx_a.tx_id in ledger.confirmed_tx_ids()
+
+    def test_duplicate_tx_across_branches_survives_unwind(self):
+        # The same tx id confirmed on both branches must stay confirmed
+        # after one branch is unwound (the multiset case).
+        ledger = Ledger()
+        shared = make_call("0xua")
+        a1 = extend(ledger, ledger.head_hash, 1, txs=[shared], miner="pkA")
+        b1 = Block.build(Block.genesis(0).block_hash, "pkB", 0, 1, 1.1, [shared])
+        ledger.add_block(b1)
+        extend(ledger, b1.block_hash, 2, miner="pkB")  # reorg to branch B
+        assert shared.tx_id in ledger.confirmed_tx_ids()
+        assert ledger.confirmed_tx_ids() == ledger.confirmed_tx_ids_scan()
+
+    def test_version_bumps_only_on_head_change(self):
+        ledger = Ledger()
+        v0 = ledger.version
+        b1 = extend(ledger, ledger.head_hash, 1)
+        assert ledger.version == v0 + 1
+        loser = Block.build(Block.genesis(0).block_hash, "pkB", 0, 1, 1.2)
+        ledger.add_block(loser)  # no head change
+        assert ledger.version == v0 + 1
+        extend(ledger, b1.block_hash, 2)
+        assert ledger.version == v0 + 2
+
+    def test_canonical_hashes_and_is_canonical(self):
+        ledger = Ledger()
+        b1 = extend(ledger, ledger.head_hash, 1)
+        loser = Block.build(Block.genesis(0).block_hash, "pkB", 0, 1, 1.2)
+        ledger.add_block(loser)
+        assert ledger.is_canonical(b1.block_hash)
+        assert not ledger.is_canonical(loser.block_hash)
+        assert ledger.canonical_hashes() == {
+            ledger.genesis_hash,
+            b1.block_hash,
+        }
+
+    def test_block_and_parent_accessors(self):
+        ledger = Ledger()
+        b1 = extend(ledger, ledger.head_hash, 1)
+        assert ledger.block(b1.block_hash) is b1
+        assert ledger.parent_of(b1.block_hash) == ledger.genesis_hash
+        assert ledger.parent_of(ledger.genesis_hash) is None
+        with pytest.raises(LedgerError):
+            ledger.block("f" * 64)
+        with pytest.raises(LedgerError):
+            ledger.parent_of("f" * 64)

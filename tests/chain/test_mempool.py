@@ -107,3 +107,51 @@ class TestIdSelection:
         pool.add_many(txs)
         ids = [txs[2].tx_id, txs[0].tx_id]
         assert pool.select_ids(ids) == [txs[2], txs[0]]
+
+
+class TestCachedRankedView:
+    """The fee-ranked cache vs. the full-sort oracle, differentially."""
+
+    def test_differential_random_workload(self):
+        import random
+
+        rng = random.Random(31)
+        cached = Mempool(fee_cache=True)
+        txs = [make_call(f"0xu{i}", fee=rng.randrange(1, 50)) for i in range(80)]
+        for tx in txs:
+            cached.add(tx)
+            # Interleave selections, removals and re-adds so the cache
+            # goes through build, insort, stale-skip and compaction.
+            if rng.random() < 0.4:
+                limit = rng.randrange(0, 20)
+                assert cached.select_by_fee(limit) == (
+                    cached.select_by_fee_sorted(limit)
+                )
+            if rng.random() < 0.3 and len(cached):
+                victims = rng.sample(list(cached.pending()), k=1)
+                cached.remove(victims[0].tx_id)
+        assert cached.select_by_fee(100) == cached.select_by_fee_sorted(100)
+
+    def test_cache_survives_bulk_confirmation(self):
+        pool = Mempool()
+        txs = [make_call(f"0xu{i}", fee=i) for i in range(30)]
+        pool.add_many(txs)
+        pool.select_by_fee(5)  # build the cache
+        pool.remove_confirmed({tx.tx_id for tx in txs[:20]})
+        assert pool.select_by_fee(30) == pool.select_by_fee_sorted(30)
+
+    def test_fee_cache_disabled_uses_sort(self):
+        pool = Mempool(fee_cache=False)
+        txs = [make_call(f"0xu{i}", fee=i) for i in range(10)]
+        pool.add_many(txs)
+        assert pool._ranked is None
+        assert pool.select_by_fee(5) == pool.select_by_fee_sorted(5)
+        assert pool._ranked is None  # never built
+
+    def test_add_after_cache_built_keeps_order(self):
+        pool = Mempool()
+        pool.add_many([make_call(f"0xu{i}", fee=i) for i in range(10)])
+        pool.select_by_fee(3)
+        pool.add(make_call("0xnew", fee=100))
+        assert pool.select_by_fee(1)[0].fee == 100
+        assert pool.select_by_fee(11) == pool.select_by_fee_sorted(11)

@@ -147,3 +147,90 @@ class TestSnapshot:
         snap = world.snapshot()
         snap.contract(CONTRACT_A).record_invocation()
         assert world.contract(CONTRACT_A).invocation_count == 0
+
+
+class TestBlockUndoJournal:
+    """Journaled apply + revert must be an exact round trip."""
+
+    def test_apply_revert_round_trip(self, world):
+        from repro.chain.state import BlockUndo
+
+        before = world.fingerprint()
+        undo = BlockUndo()
+        body = (
+            make_transfer("0xualice", "0xubob", amount=10, fee=2),
+            make_call("0xubob", fee=5),
+            make_transfer("0xualice", "0xunew", amount=3, fee=1, nonce=1),
+        )
+        rejected = world.apply_block_body(body, miner="pk-m", journal=undo)
+        assert rejected == []
+        assert world.fingerprint() != before
+        world.revert_block_body(undo)
+        assert world.fingerprint() == before
+
+    def test_revert_deletes_created_accounts(self, world):
+        from repro.chain.state import BlockUndo
+
+        undo = BlockUndo()
+        world.apply_block_body(
+            (make_transfer("0xualice", "0xufresh", amount=3),),
+            miner="pk-new-miner",
+            journal=undo,
+        )
+        assert world.has_account("0xufresh")
+        assert world.has_account("pk-new-miner")
+        world.revert_block_body(undo)
+        assert not world.has_account("0xufresh")
+        assert not world.has_account("pk-new-miner")
+
+    def test_revert_restores_contract_invocations(self, world):
+        from repro.chain.state import BlockUndo
+
+        undo = BlockUndo()
+        world.apply_block_body(
+            (make_call("0xualice", fee=2),), miner="pk-m", journal=undo
+        )
+        assert world.contract(CONTRACT_A).invocation_count == 1
+        world.revert_block_body(undo)
+        assert world.contract(CONTRACT_A).invocation_count == 0
+
+    def test_journal_snapshots_first_touch_only(self, world):
+        from repro.chain.state import BlockUndo
+
+        undo = BlockUndo()
+        body = (
+            make_transfer("0xualice", "0xubob", amount=10, fee=1),
+            make_transfer("0xualice", "0xubob", amount=10, fee=1, nonce=1),
+        )
+        before = world.fingerprint()
+        world.apply_block_body(body, miner="pk-m", journal=undo)
+        # One snapshot per touched address, taken before the first write.
+        assert undo.accounts["0xualice"] == (1_000, 0)
+        assert undo.accounts["0xubob"] == (1_000, 0)
+        world.revert_block_body(undo)
+        assert world.fingerprint() == before
+
+    def test_failed_transaction_leaves_no_journal_entry(self, world):
+        from repro.chain.state import BlockUndo
+
+        undo = BlockUndo()
+        bad = make_transfer("0xualice", "0xubob", amount=10_000)
+        rejected = world.apply_block_body((bad,), miner="pk-m", journal=undo)
+        assert rejected == [bad]
+        assert undo.accounts == {}
+        assert undo.contracts == {}
+
+
+class TestFingerprint:
+    def test_stable_across_insertion_order(self):
+        a, b = WorldState(), WorldState()
+        a.create_account("0xux", balance=5)
+        a.create_account("0xuy", balance=7)
+        b.create_account("0xuy", balance=7)
+        b.create_account("0xux", balance=5)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sensitive_to_balances(self, world):
+        before = world.fingerprint()
+        world.account("0xualice").credit(1)
+        assert world.fingerprint() != before

@@ -122,3 +122,47 @@ class TestScheduler:
         scheduler.schedule_in(2.0, lambda: None)
         scheduler.run()
         assert scheduler.events_fired == 2
+
+    def test_args_dispatch(self):
+        # Bound-method dispatch: extra positional args reach the callback
+        # without a closure per event.
+        scheduler = Scheduler()
+        seen = []
+        scheduler.schedule_in(1.0, seen.append, "a")
+        scheduler.schedule_at(2.0, seen.append, "b")
+        scheduler.run()
+        assert seen == ["a", "b"]
+
+    def test_pending_is_live_count(self):
+        scheduler = Scheduler()
+        events = [scheduler.schedule_in(float(i + 1), lambda: None) for i in range(5)]
+        assert scheduler.pending == 5
+        events[0].cancel()
+        events[0].cancel()  # idempotent: counted once
+        assert scheduler.pending == 4
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is event
+        event.cancel()  # already popped; the live count must not go stale
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        assert queue.pop() is None
+
+    def test_compaction_preserves_order(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(100)]
+        for event in events[:80]:
+            if event.time % 2 == 0:
+                event.cancel()
+        for event in events[:80]:
+            event.cancel()
+        assert queue.compactions >= 1
+        times = []
+        while (event := queue.pop()) is not None:
+            times.append(event.time)
+        assert times == sorted(times)
+        assert times == [float(i) for i in range(80, 100)]

@@ -100,6 +100,13 @@ class TestDelivery:
         with pytest.raises(NetworkError):
             network.send(Message(MessageKind.TX, "n0", "ghost"))
 
+    def test_multicast_unknown_recipient(self):
+        # The fan-out fast path must preserve the per-recipient lookup
+        # error of the original per-send loop.
+        __, network, __nodes = make_net()
+        with pytest.raises(NetworkError):
+            network.multicast(MessageKind.TX, "n0", "p", recipients=["ghost"])
+
     def test_duplicate_registration(self):
         __, network, nodes = make_net()
         with pytest.raises(NetworkError):
@@ -162,3 +169,26 @@ class TestLatencyModel:
         for __ in range(100):
             delay = model.sample(rng)
             assert 0.05 <= delay <= 0.10
+
+    def test_negative_base_rejected_at_construction(self):
+        # Used to surface much later as a "cannot schedule in the past"
+        # SimulationError deep inside the event loop.
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            LatencyModel(base_seconds=-0.01)
+
+    def test_negative_jitter_rejected_at_construction(self):
+        # Used to be silently ignored by sample().
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            LatencyModel(jitter_seconds=-0.5)
+
+    def test_sample_many_count_and_bounds(self):
+        import random
+
+        model = LatencyModel(base_seconds=0.05, jitter_seconds=0.05)
+        delays = model.sample_many(random.Random(1), 50)
+        assert len(delays) == 50
+        assert all(0.05 <= d <= 0.10 for d in delays)

@@ -358,3 +358,69 @@ class TestUnificationPacketPath:
         node.on_unification_packet(packet)
         assert node.behavior is behavior  # cheater keeps cheating
         assert node.has_unified_replay  # but can still verify others
+
+
+class TestTipDeltaReorg:
+    """The journaled reorg path vs. the replay-from-genesis oracle."""
+
+    def _forked_node(self, fast_paths=True):
+        """A node driven through a multi-block reorg with value-moving
+        bodies, so both branches actually mutate the world state."""
+        from repro.chain.block import Block
+
+        node = make_node(shard=1, name=f"reorg-{fast_paths}")
+        # Fund bob in the live state AND the pre-genesis snapshot: the
+        # replay oracle rebuilds from the pristine snapshot, so genesis
+        # funding must exist in both views.
+        node.state.create_account("0xubob", balance=1_000)
+        node._pristine_state.create_account("0xubob", balance=1_000)
+        if not fast_paths:
+            node._fast_paths = False
+        genesis = node.ledger.head_hash
+        tx_a = make_call("0xualice", fee=4)
+        tx_b = make_transfer("0xubob", "0xucarol", amount=10, fee=2)
+        tx_c = make_call("0xualice", fee=3, nonce=0)
+        # Branch A: two blocks.
+        a1 = Block.build(genesis, "pkA", 1, 1, 1.0, [tx_a])
+        a2 = Block.build(a1.block_hash, "pkA", 1, 2, 2.0, [tx_b])
+        # Branch B: three blocks from genesis — forces a reorg to depth 0.
+        b1 = Block.build(genesis, "pkB", 1, 1, 1.1, [tx_c])
+        b2 = Block.build(b1.block_hash, "pkB", 1, 2, 2.1, [tx_b])
+        b3 = Block.build(b2.block_hash, "pkB", 1, 3, 3.1, [])
+        for block in (a1, a2, b1, b2, b3):
+            node._record_block(block)
+        assert node.ledger.head_hash == b3.block_hash
+        return node
+
+    def test_reorg_state_matches_oracle(self):
+        node = self._forked_node(fast_paths=True)
+        assert node.state.fingerprint() == node.state_oracle_fingerprint()
+
+    def test_fast_and_slow_paths_agree(self):
+        fast = self._forked_node(fast_paths=True)
+        slow = self._forked_node(fast_paths=False)
+        assert fast.state.fingerprint() == slow.state.fingerprint()
+        assert (
+            fast.ledger.confirmed_tx_ids() == fast.ledger.confirmed_tx_ids_scan()
+        )
+
+    def test_partial_depth_reorg(self):
+        # Fork above genesis: the shared prefix must not be reverted.
+        from repro.chain.block import Block
+
+        node = make_node(shard=1, name="partial-reorg")
+        node.state.create_account("0xubob", balance=1_000)
+        node._pristine_state.create_account("0xubob", balance=1_000)
+        genesis = node.ledger.head_hash
+        tx_base = make_call("0xualice", fee=1)
+        base = Block.build(genesis, "pkA", 1, 1, 1.0, [tx_base])
+        tx_a = make_transfer("0xubob", "0xucarol", amount=5, fee=1)
+        a2 = Block.build(base.block_hash, "pkA", 1, 2, 2.0, [tx_a])
+        b2 = Block.build(base.block_hash, "pkB", 1, 2, 2.1, [])
+        b3 = Block.build(b2.block_hash, "pkB", 1, 3, 3.1, [tx_a])
+        for block in (base, a2, b2, b3):
+            node._record_block(block)
+        assert node.ledger.head_hash == b3.block_hash
+        assert node.state.fingerprint() == node.state_oracle_fingerprint()
+        # The shared-prefix tx stayed confirmed throughout.
+        assert tx_base.tx_id in node.ledger.confirmed_tx_ids()
