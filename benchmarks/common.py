@@ -24,6 +24,7 @@ from typing import Callable
 
 from repro.experiments import run_experiment
 from repro.experiments.common import clear_experiment_caches
+from repro.observe.history import SCHEMA_VERSION, git_revision, utc_timestamp
 from repro.runtime import ProcessExecutor, SerialExecutor, use_executor
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -53,11 +54,29 @@ def timed(fn: Callable[[], object], repeats: int = 1) -> float:
     return best
 
 
-def write_bench_record(name: str, payload: dict) -> pathlib.Path:
-    """Persist one perf record as ``BENCH_<name>.json`` and return it."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    record = {"bench": name, "environment": bench_environment(), **payload}
-    path = RESULTS_DIR / f"BENCH_{name}.json"
+def write_bench_record(
+    name: str, payload: dict, results_dir: pathlib.Path | None = None
+) -> pathlib.Path:
+    """Persist one perf record as ``BENCH_<name>.json`` and return it.
+
+    Every record is stamped with the observatory schema version, the
+    git revision it was measured at, and an ISO-8601 UTC timestamp, so
+    ``python -m repro bench history`` can place it on the perf
+    trajectory. Records written before the stamp existed are treated
+    as legacy (schema v1) by :mod:`repro.observe.history` — reported,
+    never crashed on.
+    """
+    target_dir = RESULTS_DIR if results_dir is None else pathlib.Path(results_dir)
+    target_dir.mkdir(exist_ok=True, parents=True)
+    record = {
+        "bench": name,
+        "schema_version": SCHEMA_VERSION,
+        "git_rev": git_revision(),
+        "recorded_at": utc_timestamp(),
+        "environment": bench_environment(),
+        **payload,
+    }
+    path = target_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"[bench] wrote {path}", file=sys.stderr)
     return path

@@ -2,18 +2,36 @@
 
 Usage::
 
-    python -m repro list                 # show available experiment ids
-    python -m repro run fig3a            # full reproduction of Fig. 3(a)
-    python -m repro run table1 --quick   # trimmed configuration
-    python -m repro all --quick          # sweep everything
+    python -m repro list                  # show available experiment ids
+    python -m repro run fig3a             # full reproduction of Fig. 3(a)
+    python -m repro run fig3c --quick --trace fig3c.jsonl
+    python -m repro all --quick           # sweep everything
+
+    python -m repro trace record out.jsonl --engine fast --seed 7
+    python -m repro trace profile out.jsonl
+    python -m repro trace diff fast.jsonl legacy.jsonl
+    python -m repro trace digest out.jsonl
+
+    python -m repro bench history         # BENCH_*.json trajectory table
+    python -m repro bench check           # nonzero exit on a regression
+
+``trace diff`` exits 1 when the traces deterministically diverge;
+``bench check`` exits 1 when a tracked metric regresses beyond the
+tolerance; trace/bench data errors (missing file, corrupt JSONL) are
+reported on stderr with exit code 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
+from repro.errors import ReproError
 from repro.experiments import experiment_ids, run_experiment
+
+#: Default benchmark-record directory for ``bench history`` / ``check``.
+_RESULTS_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
 
 
 def _print_result(result) -> None:
@@ -23,7 +41,132 @@ def _print_result(result) -> None:
     print()
 
 
-def main(argv: list[str] | None = None) -> int:
+def _run_traced(experiment: str, quick: bool, seed: int, trace_path: str) -> None:
+    """Run one experiment inside a lineage-enabled tracer scope."""
+    from repro.observe import Tracer, use_tracer
+
+    tracer = Tracer(lineage=True)
+    with use_tracer(tracer):
+        result = run_experiment(experiment, quick=quick, seed=seed)
+    _print_result(result)
+    target = tracer.write_jsonl(trace_path)
+    print(
+        f"trace written to {target} "
+        f"({len(tracer)} records, digest {tracer.digest()})"
+    )
+
+
+# ----------------------------------------------------------------------
+# trace subcommands
+# ----------------------------------------------------------------------
+def _trace_record(args) -> int:
+    """Record one seeded protocol run's trace to a JSONL file."""
+    from repro.consensus.miner import MinerIdentity
+    from repro.consensus.pow import PoWParameters
+    from repro.faults.plan import FaultPlan
+    from repro.net.network import LatencyModel
+    from repro.observe import Tracer
+    from repro.sim.protocol import ProtocolConfig, ProtocolSimulation
+    from repro.workloads import uniform_contract_workload
+
+    miners = [MinerIdentity.create(f"m{i}") for i in range(args.miners)]
+    workload = uniform_contract_workload(
+        total_txs=args.txs, contract_shards=args.shards, seed=args.seed
+    )
+    config = ProtocolConfig(
+        pow_params=PoWParameters(difficulty=0x40000 // 60),
+        latency=LatencyModel(base_seconds=0.01, jitter_seconds=0.01),
+        seed=args.seed,
+        max_duration=5_000.0,
+        engine=args.engine,
+        trace=Tracer(lineage=not args.no_lineage),
+        fault_plan=(
+            FaultPlan.lossy(0.08, duplicate_probability=0.05)
+            if args.faulty
+            else None
+        ),
+        retransmit_interval=60.0 if args.faulty else None,
+    )
+    result = ProtocolSimulation(
+        miners, workload, config=config, unified=args.unified
+    ).run()
+    trace = result.trace
+    target = trace.write_jsonl(args.output)
+    print(
+        f"recorded {len(trace)} records to {target} "
+        f"(engine={args.engine}, seed={args.seed}, "
+        f"confirmed={result.confirmed_count()})"
+    )
+    print(f"digest {trace.digest()}")
+    return 0
+
+
+def _trace_profile(args) -> int:
+    from repro.observe import as_payloads, render_profile
+
+    payloads = as_payloads(args.trace)
+    print(render_profile(payloads, title=pathlib.Path(args.trace).name))
+    return 0
+
+
+def _trace_diff(args) -> int:
+    from repro.observe import as_payloads, diff_traces, render_diff
+
+    left = as_payloads(args.left)
+    right = as_payloads(args.right)
+    diff = diff_traces(left, right)
+    names = (pathlib.Path(args.left).name, pathlib.Path(args.right).name)
+    print(render_diff(diff, left, right, names=names, window=args.window))
+    return 1 if diff.divergent else 0
+
+
+def _trace_digest(args) -> int:
+    from repro.observe import digest_of_jsonl
+
+    print(digest_of_jsonl(args.trace))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# bench subcommands
+# ----------------------------------------------------------------------
+def _bench_history(args) -> int:
+    from repro.observe import load_bench_records, render_history
+
+    print(render_history(load_bench_records(args.results)))
+    return 0
+
+
+def _bench_check(args) -> int:
+    from repro.observe import (
+        check_regressions,
+        load_bench_records,
+        render_check,
+        render_history,
+    )
+
+    baselines = load_bench_records(args.baseline)
+    candidates = (
+        load_bench_records(args.candidate)
+        if args.candidate is not None
+        else baselines
+    )
+    if not baselines:
+        print(f"error: no BENCH_*.json records under {args.baseline}",
+              file=sys.stderr)
+        return 2
+    print(render_history(candidates))
+    findings = check_regressions(
+        candidates, baselines, tolerance=args.tolerance
+    )
+    print(render_check(findings, tolerance=args.tolerance))
+    return 1 if any(f.regressed for f in findings) else 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce tables/figures of 'On Sharding Open "
@@ -37,6 +180,11 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("experiment", choices=experiment_ids())
     run_parser.add_argument("--quick", action="store_true", help="trimmed sweep")
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="dump the run's JSONL trace here and print its digest",
+    )
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--quick", action="store_true", help="trimmed sweeps")
@@ -54,6 +202,88 @@ def main(argv: list[str] | None = None) -> int:
         "--only", nargs="*", choices=experiment_ids(), help="subset of experiments"
     )
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="trace analytics: record, profile, diff, digest"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser(
+        "record", help="record one seeded protocol run's trace"
+    )
+    record.add_argument("output", help="JSONL output path")
+    record.add_argument(
+        "--engine", choices=("fast", "legacy"), default="fast"
+    )
+    record.add_argument("--seed", type=int, default=7)
+    record.add_argument("--miners", type=int, default=6)
+    record.add_argument("--txs", type=int, default=30)
+    record.add_argument("--shards", type=int, default=2)
+    record.add_argument("--faulty", action="store_true", help="lossy network")
+    record.add_argument(
+        "--unified", action="store_true", help="Sec. IV-C unified run"
+    )
+    record.add_argument(
+        "--no-lineage",
+        action="store_true",
+        help="omit per-transaction lifecycle events",
+    )
+
+    profile = trace_sub.add_parser(
+        "profile",
+        help="per-phase attribution + per-transaction lineage latencies",
+    )
+    profile.add_argument("trace", help="JSONL trace path")
+
+    diff = trace_sub.add_parser(
+        "diff", help="first deterministic divergence between two traces"
+    )
+    diff.add_argument("left")
+    diff.add_argument("right")
+    diff.add_argument(
+        "--window", type=int, default=3, help="context records around the divergence"
+    )
+
+    digest = trace_sub.add_parser(
+        "digest", help="recompute a trace file's wall-excluding digest"
+    )
+    digest.add_argument("trace", help="JSONL trace path")
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark regression observatory over BENCH_*.json"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+
+    history = bench_sub.add_parser(
+        "history", help="trajectory table of every benchmark record"
+    )
+    history.add_argument(
+        "--results", default=str(_RESULTS_DIR), help="records directory"
+    )
+
+    check = bench_sub.add_parser(
+        "check", help="fail (exit 1) when a tracked metric regressed"
+    )
+    check.add_argument(
+        "--baseline",
+        default=str(_RESULTS_DIR),
+        help="baseline records directory (default: committed results)",
+    )
+    check.add_argument(
+        "--candidate",
+        default=None,
+        help="candidate records directory (default: the baseline itself)",
+    )
+    check.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="allowed relative drop per metric (default 0.1 = 10%%)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -62,7 +292,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        _print_result(run_experiment(args.experiment, quick=args.quick, seed=args.seed))
+        if args.trace:
+            _run_traced(args.experiment, args.quick, args.seed, args.trace)
+        else:
+            _print_result(
+                run_experiment(args.experiment, quick=args.quick, seed=args.seed)
+            )
         return 0
 
     if args.command == "report":
@@ -78,6 +313,29 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write(text)
             print(f"report written to {args.output}")
         return 0
+
+    if args.command == "trace":
+        handler = {
+            "record": _trace_record,
+            "profile": _trace_profile,
+            "diff": _trace_diff,
+            "digest": _trace_digest,
+        }[args.trace_command]
+        try:
+            return handler(args)
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "bench":
+        handler = {"history": _bench_history, "check": _bench_check}[
+            args.bench_command
+        ]
+        try:
+            return handler(args)
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     for experiment_id in experiment_ids():
         _print_result(run_experiment(experiment_id, quick=args.quick, seed=args.seed))

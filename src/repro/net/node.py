@@ -100,6 +100,7 @@ class FullNode(Node):
         "_fast_paths",
         "_applied",
         "_applied_index",
+        "on_pooled",
     )
 
     #: Cap on buffered out-of-order blocks (drop-oldest beyond this).
@@ -150,6 +151,11 @@ class FullNode(Node):
         self._fast_paths = fast_paths
         self._applied: list[tuple[str, BlockUndo]] = []
         self._applied_index: dict[str, int] = {}
+        # Lineage hook: called as ``on_pooled(node, tx)`` whenever a
+        # transaction enters this node's mempool. Installed by the
+        # protocol simulation only when lineage tracing is on, so the
+        # common path pays a single None check per pooled transaction.
+        self.on_pooled: Callable[["FullNode", Transaction], None] | None = None
 
     # ------------------------------------------------------------------
     # Node protocol
@@ -181,6 +187,8 @@ class FullNode(Node):
             return False
         if self.mempool.add(tx):
             self.stats.txs_pooled += 1
+            if self.on_pooled is not None:
+                self.on_pooled(self, tx)
             return True
         return False
 

@@ -15,6 +15,13 @@ behavior a first-class, *reproducible* output:
 * :mod:`repro.observe.export` — JSONL export plus a human-readable
   per-phase summary, the sharding-survey-style breakdown (per-phase
   latencies, per-shard timelines) end-to-end counters cannot give.
+* :mod:`repro.observe.analysis` — the query layer: per-phase profiles
+  (sim-time vs. wall sidecar attribution), per-transaction causal
+  lineage with per-shard p50/p95/p99 confirmation latencies, and the
+  first-divergence trace diff behind ``python -m repro trace ...``.
+* :mod:`repro.observe.history` — the benchmark regression observatory
+  over ``benchmarks/results/BENCH_*.json`` behind
+  ``python -m repro bench ...``.
 
 Enabling it: set ``REPRO_TRACE=1``, or pass ``trace=`` to
 :class:`~repro.sim.protocol.ProtocolConfig` /
@@ -25,12 +32,36 @@ instrumentation site (guarded by ``benchmarks/bench_observe.py``).
 
 from __future__ import annotations
 
+from repro.observe.analysis import (
+    PhaseProfile,
+    TraceDiff,
+    TxLineage,
+    as_payloads,
+    build_lineages,
+    build_phase_profiles,
+    diff_traces,
+    render_diff,
+    render_profile,
+    shard_latency_histograms,
+)
 from repro.observe.export import (
     digest_of_jsonl,
     read_jsonl,
     render_trace_summary,
     trace_digest,
     write_jsonl,
+)
+from repro.observe.history import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    RegressionFinding,
+    check_regressions,
+    git_revision,
+    load_bench_records,
+    render_check,
+    render_history,
+    tracked_metrics,
+    utc_timestamp,
 )
 from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.observe.tracer import (
@@ -45,21 +76,41 @@ from repro.observe.tracer import (
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
     "TRACE_ENV",
+    "BenchRecord",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PhaseProfile",
+    "RegressionFinding",
+    "TraceDiff",
     "TraceRecord",
     "Tracer",
+    "TxLineage",
+    "as_payloads",
+    "build_lineages",
+    "build_phase_profiles",
+    "check_regressions",
+    "diff_traces",
     "digest_of_jsonl",
     "get_tracer",
+    "git_revision",
+    "load_bench_records",
     "read_jsonl",
+    "render_check",
+    "render_diff",
+    "render_history",
+    "render_profile",
     "render_trace_summary",
     "resolve_tracer",
     "set_tracer",
+    "shard_latency_histograms",
     "trace_digest",
+    "tracked_metrics",
     "tracing_enabled",
     "use_tracer",
+    "utc_timestamp",
     "write_jsonl",
 ]

@@ -14,6 +14,8 @@ import pathlib
 from collections import Counter as _TallyCounter
 from typing import TYPE_CHECKING, Iterable
 
+from repro.errors import SimulationError
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.observe.tracer import Tracer, TraceRecord
 
@@ -41,9 +43,31 @@ def write_jsonl(
 
 
 def read_jsonl(path: str | pathlib.Path) -> list[dict]:
-    """Parse a trace file back into plain dicts (analysis, CI checks)."""
-    lines = pathlib.Path(path).read_text().splitlines()
-    return [json.loads(line) for line in lines if line.strip()]
+    """Parse a trace file back into plain dicts (analysis, CI checks).
+
+    A truncated or otherwise corrupt line raises
+    :class:`~repro.errors.SimulationError` naming the 1-based line
+    number, so a bad artifact points at itself instead of surfacing as
+    a bare ``JSONDecodeError`` (or worse, a crash deep in analysis).
+    """
+    source = pathlib.Path(path)
+    records: list[dict] = []
+    for lineno, line in enumerate(source.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SimulationError(
+                f"{source}: corrupt JSONL at line {lineno}: {exc.msg}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise SimulationError(
+                f"{source}: corrupt JSONL at line {lineno}: expected an "
+                f"object, got {type(payload).__name__}"
+            )
+        records.append(payload)
+    return records
 
 
 def digest_of_jsonl(path: str | pathlib.Path) -> str:

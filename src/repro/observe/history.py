@@ -1,0 +1,278 @@
+"""The benchmark regression observatory.
+
+Every ``bench_*`` run persists a ``BENCH_<name>.json`` record under
+``benchmarks/results/`` (via ``benchmarks.common.write_bench_record``).
+This module turns that accumulating pile into an observatory:
+
+* :func:`load_bench_records` parses every record, tolerating — and
+  reporting, instead of crashing on — legacy records written before
+  the schema was stamped (no ``schema_version`` / ``git_rev`` /
+  ``recorded_at``) and files that fail to parse at all;
+* :func:`tracked_metrics` extracts the perf figures worth watching
+  (``speedup*`` ratios and ``*_per_s`` throughputs anywhere in the
+  record, both higher-is-better), named by their dotted path;
+* :func:`check_regressions` compares a candidate result set against a
+  baseline set with a configurable relative tolerance — the gate
+  behind ``python -m repro bench check``, which every later perf PR
+  reports through.
+
+Stamping lives here too: :data:`SCHEMA_VERSION` is the authority the
+benchmarks import, and :func:`git_revision` best-effort resolves the
+working tree's commit (``None`` outside a git checkout — records stay
+writable anywhere).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import subprocess
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Version stamped into new BENCH records. Version 1 is the implicit
+#: schema of legacy records (no stamp at all); bump this when the
+#: record layout changes incompatibly.
+SCHEMA_VERSION = 2
+
+#: Fields a stamped (v2+) record must carry.
+STAMP_FIELDS = ("schema_version", "git_rev", "recorded_at")
+
+
+def git_revision(repo_dir: str | pathlib.Path | None = None) -> str | None:
+    """Short commit hash of the enclosing checkout, or None."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_dir or pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def utc_timestamp() -> str:
+    """The current time as an ISO-8601 UTC string (second precision)."""
+    return (
+        datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+    )
+
+
+@dataclass
+class BenchRecord:
+    """One parsed ``BENCH_<name>.json`` record (possibly legacy)."""
+
+    name: str
+    path: pathlib.Path
+    payload: dict = field(default_factory=dict)
+    schema_version: int | None = None
+    git_rev: str | None = None
+    recorded_at: str | None = None
+    #: Parse/validation issues — a populated list never means a crash.
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def legacy(self) -> bool:
+        """Written before stamping existed (implicit schema v1)."""
+        return self.schema_version is None
+
+    @property
+    def parse_failed(self) -> bool:
+        return not self.payload
+
+
+def load_bench_records(
+    results_dir: str | pathlib.Path,
+) -> list[BenchRecord]:
+    """Parse every ``BENCH_*.json`` under ``results_dir``, name-sorted.
+
+    Unreadable or malformed files become records with ``problems`` set
+    and an empty payload; legacy records are flagged per missing stamp
+    field. Nothing here raises on bad data — the observatory must be
+    able to *report* a broken record.
+    """
+    directory = pathlib.Path(results_dir)
+    records: list[BenchRecord] = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        record = BenchRecord(name=name, path=path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            record.problems.append(f"unparseable record: {exc}")
+            records.append(record)
+            continue
+        if not isinstance(payload, dict):
+            record.problems.append(
+                f"expected a JSON object, got {type(payload).__name__}"
+            )
+            records.append(record)
+            continue
+        record.payload = payload
+        record.name = payload.get("bench", name)
+        record.schema_version = payload.get("schema_version")
+        record.git_rev = payload.get("git_rev")
+        record.recorded_at = payload.get("recorded_at")
+        if record.legacy:
+            record.problems.append(
+                "legacy record (schema v1: no schema_version/git_rev/"
+                "recorded_at stamp)"
+            )
+        else:
+            for fieldname in STAMP_FIELDS:
+                if payload.get(fieldname) in (None, ""):
+                    record.problems.append(f"missing {fieldname}")
+        records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# tracked metrics
+# ----------------------------------------------------------------------
+def _is_tracked(key: str) -> bool:
+    return "speedup" in key or key.endswith("_per_s")
+
+
+def tracked_metrics(record: BenchRecord) -> dict[str, float]:
+    """Watched perf figures by dotted path (all higher-is-better).
+
+    Walks the whole payload: nested dicts extend the path with ``.``,
+    list elements with ``[i]`` — so a protocol profile sweep yields
+    e.g. ``profiles[1].speedup`` alongside the top-level ``speedup``.
+    """
+    metrics: dict[str, float] = {}
+
+    def walk(node, prefix: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                path = f"{prefix}.{key}" if prefix else key
+                if isinstance(value, (dict, list)):
+                    walk(value, path)
+                elif isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ) and _is_tracked(key):
+                    metrics[path] = float(value)
+        elif isinstance(node, list):
+            for i, value in enumerate(node):
+                walk(value, f"{prefix}[{i}]")
+
+    walk(record.payload, "")
+    return metrics
+
+
+def render_history(records: list[BenchRecord]) -> str:
+    """The trajectory table: every record, its stamp, its metrics."""
+    if not records:
+        return "no BENCH_*.json records found"
+    lines = [f"{len(records)} benchmark records:"]
+    for record in records:
+        if record.parse_failed:
+            lines.append(f"  {record.name}: UNPARSEABLE ({record.path.name})")
+            for problem in record.problems:
+                lines.append(f"    ! {problem}")
+            continue
+        stamp = (
+            "legacy (unstamped)"
+            if record.legacy
+            else f"schema=v{record.schema_version} "
+            f"rev={record.git_rev or '?'} at={record.recorded_at or '?'}"
+        )
+        lines.append(f"  {record.name}: {stamp}")
+        for problem in record.problems:
+            if not record.legacy or "legacy record" not in problem:
+                lines.append(f"    ! {problem}")
+        for path, value in sorted(tracked_metrics(record).items()):
+            lines.append(f"    {path} = {value:g}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# regression check
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One tracked metric compared candidate-vs-baseline."""
+
+    bench: str
+    metric: str
+    baseline: float
+    candidate: float
+    regressed: bool
+
+    @property
+    def change_pct(self) -> float:
+        if self.baseline == 0:
+            return 0.0
+        return (self.candidate / self.baseline - 1.0) * 100.0
+
+
+def check_regressions(
+    candidates: list[BenchRecord],
+    baselines: list[BenchRecord],
+    tolerance: float = 0.1,
+) -> list[RegressionFinding]:
+    """Compare every shared tracked metric; flag drops beyond tolerance.
+
+    A higher-is-better metric regresses when the candidate value falls
+    below ``baseline * (1 - tolerance)``. Metrics present on only one
+    side, and benches without a counterpart, are skipped — new
+    benchmarks must not fail the check retroactively.
+    """
+    if tolerance < 0:
+        raise ConfigError(f"tolerance must be >= 0: got {tolerance}")
+    by_name = {record.name: record for record in baselines}
+    findings: list[RegressionFinding] = []
+    for candidate in candidates:
+        baseline = by_name.get(candidate.name)
+        if baseline is None or candidate.parse_failed or baseline.parse_failed:
+            continue
+        base_metrics = tracked_metrics(baseline)
+        cand_metrics = tracked_metrics(candidate)
+        for path in sorted(set(base_metrics) & set(cand_metrics)):
+            base, cand = base_metrics[path], cand_metrics[path]
+            regressed = cand < base * (1.0 - tolerance)
+            findings.append(
+                RegressionFinding(
+                    bench=candidate.name,
+                    metric=path,
+                    baseline=base,
+                    candidate=cand,
+                    regressed=regressed,
+                )
+            )
+    return findings
+
+
+def render_check(
+    findings: list[RegressionFinding], tolerance: float
+) -> str:
+    """Verdict table for ``bench check`` (regressions listed first)."""
+    lines = [
+        f"regression check over {len(findings)} tracked metrics "
+        f"(tolerance {tolerance:.0%}):"
+    ]
+    if not findings:
+        lines.append("  (no comparable metrics)")
+        return "\n".join(lines)
+    ordered = sorted(findings, key=lambda f: (not f.regressed, f.bench, f.metric))
+    for f in ordered:
+        verdict = "REGRESSED" if f.regressed else "ok"
+        lines.append(
+            f"  [{verdict:9s}] {f.bench}:{f.metric} "
+            f"baseline={f.baseline:g} candidate={f.candidate:g} "
+            f"({f.change_pct:+.1f}%)"
+        )
+    regressed = sum(1 for f in findings if f.regressed)
+    lines.append(
+        f"{regressed} regression(s), "
+        f"{len(findings) - regressed} metric(s) within tolerance"
+    )
+    return "\n".join(lines)

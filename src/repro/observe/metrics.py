@@ -9,7 +9,9 @@ the wall sidecar of a trace record (see :mod:`repro.observe.tracer`).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.errors import ConfigError
 
@@ -83,6 +85,40 @@ class Histogram:
         rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
         return ordered[rank]
 
+    def percentile(self, p: float) -> float:
+        """Exact nearest-rank percentile over the recorded values.
+
+        ``p`` is in [0, 100]. The result is always one of the observed
+        samples (the smallest value with at least ``p``% of samples at
+        or below it), so it is deterministic, exact under ties, and the
+        single-sample histogram returns that sample for every ``p``.
+        An empty histogram returns 0.0, matching :meth:`quantile`.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100]: got {p}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        return self._nearest_rank(ordered, p)
+
+    def percentiles(self, ps: Iterable[float]) -> dict[float, float]:
+        """Several nearest-rank percentiles from a single sort."""
+        points = list(ps)
+        for p in points:
+            if not 0.0 <= p <= 100.0:
+                raise ConfigError(f"percentile must be in [0, 100]: got {p}")
+        if not self.samples:
+            return {p: 0.0 for p in points}
+        ordered = sorted(self.samples)
+        return {p: self._nearest_rank(ordered, p) for p in points}
+
+    @staticmethod
+    def _nearest_rank(ordered: list[float], p: float) -> float:
+        if p == 0.0:
+            return ordered[0]
+        rank = math.ceil(p / 100.0 * len(ordered))
+        return ordered[rank - 1]
+
     def summary(self) -> dict[str, float]:
         return {
             "count": self.count,
@@ -92,6 +128,7 @@ class Histogram:
             "max": self.maximum,
             "p50": self.quantile(0.5),
             "p95": self.quantile(0.95),
+            "p99": self.percentile(99.0),
         }
 
 

@@ -89,11 +89,24 @@ class Tracer:
     example a scheduler's ``now``); an explicit ``time=`` on
     :meth:`event` always wins, and with neither the record is untimed
     (logical ordering by ``seq`` alone — the game layers have no clock).
+
+    ``lineage`` opts into the per-transaction lifecycle events
+    (``tx.seen`` / ``tx.confirmed`` plus per-block ``tx_idx`` lists)
+    that :mod:`repro.observe.analysis` reconstructs causal lineages
+    from. It is off by default so ordinary traces — and every recorded
+    digest baseline — are unchanged; lineage events refer to
+    transactions by their *workload index*, never by id, so two
+    same-seed runs in different processes still digest identically.
     """
 
-    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        lineage: bool = False,
+    ) -> None:
         self.records: list[TraceRecord] = []
         self.metrics = MetricsRegistry()
+        self.lineage = bool(lineage)
         self._clock: Callable[[], float] | None = clock
         self._seq = 0
 
@@ -257,9 +270,12 @@ def resolve_tracer(spec: "Tracer | bool | None") -> Tracer | None:
     """Turn a config-level ``trace=`` value into a tracer (or ``None``).
 
     ``Tracer`` instances pass through, ``True`` builds a fresh tracer,
-    ``False`` forces tracing off, and ``None`` defers to the
-    ``REPRO_TRACE`` environment switch — which also builds a *fresh*
-    tracer, so every run's digest covers exactly that run.
+    ``False`` forces tracing off, and ``None`` defaults: a run created
+    inside a :func:`use_tracer` scope joins the enclosing trace (this is
+    how ``python -m repro run --trace`` collects whole experiments),
+    otherwise the ``REPRO_TRACE`` environment switch decides — and
+    builds a *fresh* tracer, so every run's digest covers exactly that
+    run.
     """
     if isinstance(spec, Tracer):
         return spec
@@ -268,5 +284,7 @@ def resolve_tracer(spec: "Tracer | bool | None") -> Tracer | None:
     if spec is False:
         return None
     if spec is None:
+        if _ACTIVE is not None:
+            return _ACTIVE
         return Tracer() if tracing_enabled() else None
     raise ConfigError(f"trace must be a Tracer, bool, or None: got {spec!r}")

@@ -151,6 +151,18 @@ class ProtocolSimulation:
         self._transactions = list(transactions)
         self._behaviors = behaviors or {}
         self._tracer = resolve_tracer(self._config.trace)
+        # Per-transaction lineage events (tx.seen / tx_idx inclusion
+        # lists / tx.confirmed) are opt-in via Tracer(lineage=True):
+        # default traces — and every recorded digest baseline — are
+        # unchanged. Lineage refers to transactions by workload index,
+        # never by id, so digests stay portable across processes.
+        self._lineage = self._tracer is not None and self._tracer.lineage
+        self._tx_index: dict[str, int] = (
+            {tx.tx_id: i for i, tx in enumerate(self._transactions)}
+            if self._lineage
+            else {}
+        )
+        self._seen_txs: set[int] = set()
 
         # Fault layer: a no-op plan must leave the run bit-identical, so
         # the model (with its dedicated RNG) only changes behavior when
@@ -325,6 +337,8 @@ class ProtocolSimulation:
                 packet_commitment=self._commitment,
                 fast_paths=self._fast_engine,
             )
+            if self._lineage:
+                node.on_pooled = self._note_pooled
             self._network.register(node)
             self._nodes[miner.public] = node
             self._mining[miner.public] = MiningProcess(
@@ -332,6 +346,21 @@ class ProtocolSimulation:
                 hashrate_fraction=1.0,
                 seed=seed_rng.getrandbits(32),
             )
+
+    def _note_pooled(self, node: FullNode, tx: Transaction) -> None:
+        """Lineage: first-seen gossip — the first pooling of a tx anywhere."""
+        idx = self._tx_index.get(tx.tx_id)
+        if idx is None or idx in self._seen_txs:
+            return
+        self._seen_txs.add(idx)
+        self._tracer.event(
+            "tx.seen",
+            time=self._scheduler.now,
+            phase="gossip",
+            shard=node.shard_id,
+            actor=node.node_id,
+            tx=idx,
+        )
 
     def _seed_contracts(self, state: WorldState) -> None:
         from repro.chain.contract import SmartContract
@@ -449,6 +478,17 @@ class ProtocolSimulation:
             def drained() -> bool:
                 return self._confirmed_ids() >= target_ids
 
+        if self._lineage:
+            # The lineage probe piggybacks on the per-event stop-condition
+            # check, which both engines evaluate at identical points, so
+            # tx.confirmed streams (and digests) stay engine-independent.
+            probe = self._make_lineage_probe()
+            inner_drained = drained
+
+            def drained() -> bool:  # noqa: F811 - deliberate wrap
+                probe()
+                return inner_drained()
+
         self._scheduler.run(
             until=self._config.max_duration, stop_condition=drained
         )
@@ -522,6 +562,48 @@ class ProtocolSimulation:
             fault_stats=stats,
             trace=tracer,
         )
+
+    def _make_lineage_probe(self):
+        """Detector for the confirmation edge of transaction lineages.
+
+        Returns a closure the run loop calls after every event; when
+        some chain's head moved (ledger version counters) it emits one
+        ``tx.confirmed`` event per transaction newly present in any
+        node's canonical confirmed set — the first confirmation
+        anywhere, attributed to that ledger's shard. Node iteration
+        order and the per-batch index sort are both deterministic.
+        """
+        tracer = self._tracer
+        tx_index = self._tx_index
+        nodes = list(self._nodes.values())
+        known: set[str] = set()
+        state = {"stamp": -1}
+
+        def probe() -> None:
+            stamp = sum(node.ledger.version for node in nodes)
+            if stamp == state["stamp"]:
+                return
+            state["stamp"] = stamp
+            fresh: list[tuple[int, int]] = []
+            for node in nodes:
+                shard = node.shard_id
+                for tx_id in node.ledger.confirmed_tx_ids():
+                    if tx_id in known:
+                        continue
+                    known.add(tx_id)
+                    idx = tx_index.get(tx_id)
+                    if idx is not None:
+                        fresh.append((idx, shard))
+            for idx, shard in sorted(fresh):
+                tracer.event(
+                    "tx.confirmed",
+                    time=self._scheduler.now,
+                    phase="confirm",
+                    shard=shard,
+                    tx=idx,
+                )
+
+        return probe
 
     # ------------------------------------------------------------------
     # failure handling: leader distribution, retransmission, fallback
@@ -710,6 +792,15 @@ class ProtocolSimulation:
             # The per-shard confirmation timeline: every forged block
             # records how far its shard's confirmations have advanced.
             tx_count = len(block.transactions)
+            attrs: dict = {}
+            if self._lineage:
+                # Workload indexes of the packed transactions — the
+                # inclusion edge of each transaction's causal lineage.
+                attrs["tx_idx"] = [
+                    self._tx_index[tx.tx_id]
+                    for tx in block.transactions
+                    if tx.tx_id in self._tx_index
+                ]
             self._tracer.event(
                 "block.forged",
                 time=self._scheduler.now,
@@ -720,6 +811,7 @@ class ProtocolSimulation:
                 txs=tx_count,
                 empty=tx_count == 0,
                 confirmed_in_shard=len(node.ledger.confirmed_tx_ids()),
+                **attrs,
             )
             self._tracer.metrics.counter("protocol.blocks_forged").inc()
             if tx_count == 0:

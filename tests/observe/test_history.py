@@ -1,0 +1,200 @@
+"""Benchmark regression observatory: records, stamps, and the check."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.observe import (
+    SCHEMA_VERSION,
+    check_regressions,
+    git_revision,
+    load_bench_records,
+    render_check,
+    render_history,
+    tracked_metrics,
+    utc_timestamp,
+)
+
+
+def _write(results_dir, name, payload):
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def stamped(name, **metrics):
+    return {
+        "bench": name,
+        "schema_version": SCHEMA_VERSION,
+        "git_rev": "abc1234",
+        "recorded_at": "2026-08-06T00:00:00+00:00",
+        **metrics,
+    }
+
+
+class TestStamping:
+    def test_write_bench_record_stamps_schema_and_rev(self, tmp_path):
+        from benchmarks.common import write_bench_record
+
+        path = write_bench_record(
+            "stampcheck", {"speedup": 2.0}, results_dir=tmp_path
+        )
+        record = json.loads(path.read_text())
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["bench"] == "stampcheck"
+        assert record["speedup"] == 2.0
+        # Written inside this git checkout, so the rev must resolve.
+        assert record["git_rev"] == git_revision()
+        assert record["recorded_at"].endswith("+00:00")
+        assert "environment" in record
+
+    def test_utc_timestamp_is_iso8601_utc(self):
+        stamp = utc_timestamp()
+        import datetime
+
+        parsed = datetime.datetime.fromisoformat(stamp)
+        assert parsed.utcoffset() == datetime.timedelta(0)
+
+    def test_git_revision_none_outside_a_checkout(self, tmp_path):
+        assert git_revision(tmp_path) is None
+
+
+class TestLoadRecords:
+    def test_loads_name_sorted_and_stamped(self, tmp_path):
+        _write(tmp_path, "zeta", stamped("zeta", speedup=1.0))
+        _write(tmp_path, "alpha", stamped("alpha", speedup=2.0))
+        records = load_bench_records(tmp_path)
+        assert [r.name for r in records] == ["alpha", "zeta"]
+        assert all(not r.legacy for r in records)
+        assert all(not r.problems for r in records)
+        assert records[0].git_rev == "abc1234"
+
+    def test_legacy_record_is_reported_not_crashed_on(self, tmp_path):
+        _write(tmp_path, "old", {"bench": "old", "speedup": 3.0})
+        (record,) = load_bench_records(tmp_path)
+        assert record.legacy
+        assert record.schema_version is None
+        assert any("legacy record" in p for p in record.problems)
+        assert tracked_metrics(record) == {"speedup": 3.0}
+        assert "legacy (unstamped)" in render_history([record])
+
+    def test_corrupt_file_is_reported_not_crashed_on(self, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        _write(tmp_path, "fine", stamped("fine", speedup=1.5))
+        records = load_bench_records(tmp_path)
+        broken = next(r for r in records if r.name == "broken")
+        assert broken.parse_failed
+        assert any("unparseable" in p for p in broken.problems)
+        assert "UNPARSEABLE" in render_history(records)
+        fine = next(r for r in records if r.name == "fine")
+        assert not fine.problems
+
+    def test_non_object_payload_is_a_problem(self, tmp_path):
+        (tmp_path / "BENCH_list.json").write_text("[1, 2]")
+        (record,) = load_bench_records(tmp_path)
+        assert record.parse_failed
+        assert any("expected a JSON object" in p for p in record.problems)
+
+    def test_empty_directory_yields_no_records(self, tmp_path):
+        assert load_bench_records(tmp_path) == []
+        assert "no BENCH_*.json records" in render_history([])
+
+
+class TestTrackedMetrics:
+    def test_extracts_speedups_and_throughputs_by_dotted_path(self, tmp_path):
+        payload = stamped(
+            "proto",
+            speedup=4.2,
+            events_per_s=120000.0,
+            wall_serial_s=9.0,  # not tracked: plain wall time
+        )
+        payload["profiles"] = [
+            {"name": "small", "speedup": 2.0},
+            {"name": "large", "speedup": 6.0, "events_per_s": 50.0},
+        ]
+        payload["kernels"] = {"merge": {"speedup_vs_legacy": 3.0}}
+        _write(tmp_path, "proto", payload)
+        (record,) = load_bench_records(tmp_path)
+        assert tracked_metrics(record) == {
+            "speedup": 4.2,
+            "events_per_s": 120000.0,
+            "profiles[0].speedup": 2.0,
+            "profiles[1].speedup": 6.0,
+            "profiles[1].events_per_s": 50.0,
+            "kernels.merge.speedup_vs_legacy": 3.0,
+        }
+
+    def test_booleans_are_never_metrics(self, tmp_path):
+        _write(tmp_path, "b", stamped("b", speedup_ok=True, speedup=1.0))
+        (record,) = load_bench_records(tmp_path)
+        assert tracked_metrics(record) == {"speedup": 1.0}
+
+
+class TestCheckRegressions:
+    def _records(self, tmp_path, sub, **metrics):
+        directory = tmp_path / sub
+        directory.mkdir()
+        _write(directory, "bench", stamped("bench", **metrics))
+        return load_bench_records(directory)
+
+    def test_identical_sets_have_no_regressions(self, tmp_path):
+        records = self._records(tmp_path, "a", speedup=2.0, txs_per_s=100.0)
+        findings = check_regressions(records, records)
+        assert len(findings) == 2
+        assert not any(f.regressed for f in findings)
+
+    def test_drop_beyond_tolerance_is_flagged(self, tmp_path):
+        baseline = self._records(tmp_path, "base", speedup=2.0)
+        candidate = self._records(tmp_path, "cand", speedup=1.5)
+        (finding,) = check_regressions(candidate, baseline, tolerance=0.1)
+        assert finding.regressed
+        assert finding.change_pct == pytest.approx(-25.0)
+        text = render_check([finding], tolerance=0.1)
+        assert "REGRESSED" in text and "1 regression(s)" in text
+
+    def test_drop_within_tolerance_passes(self, tmp_path):
+        baseline = self._records(tmp_path, "base", speedup=2.0)
+        candidate = self._records(tmp_path, "cand", speedup=1.9)
+        (finding,) = check_regressions(candidate, baseline, tolerance=0.1)
+        assert not finding.regressed
+
+    def test_improvement_passes(self, tmp_path):
+        baseline = self._records(tmp_path, "base", speedup=2.0)
+        candidate = self._records(tmp_path, "cand", speedup=3.0)
+        (finding,) = check_regressions(candidate, baseline)
+        assert not finding.regressed
+        assert finding.change_pct == pytest.approx(50.0)
+
+    def test_new_benchmark_without_baseline_is_skipped(self, tmp_path):
+        baseline = self._records(tmp_path, "base", speedup=2.0)
+        new_dir = tmp_path / "new"
+        new_dir.mkdir()
+        _write(new_dir, "other", stamped("other", speedup=1.0))
+        candidate = load_bench_records(new_dir)
+        assert check_regressions(candidate, baseline) == []
+
+    def test_metric_on_one_side_only_is_skipped(self, tmp_path):
+        baseline = self._records(tmp_path, "base", speedup=2.0, txs_per_s=9.0)
+        candidate = self._records(tmp_path, "cand", speedup=2.0)
+        findings = check_regressions(candidate, baseline)
+        assert [f.metric for f in findings] == ["speedup"]
+
+    def test_negative_tolerance_rejected(self, tmp_path):
+        records = self._records(tmp_path, "a", speedup=1.0)
+        with pytest.raises(ConfigError, match="tolerance"):
+            check_regressions(records, records, tolerance=-0.5)
+
+    def test_committed_results_pass_against_themselves(self):
+        import pathlib
+
+        results = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "results"
+        )
+        records = load_bench_records(results)
+        assert records, "committed BENCH_*.json baselines disappeared"
+        findings = check_regressions(records, records)
+        assert findings, "no tracked metrics in committed baselines"
+        assert not any(f.regressed for f in findings)

@@ -55,11 +55,65 @@ class TestHistogram:
             "max": 0.0,
             "p50": 0.0,
             "p95": 0.0,
+            "p99": 0.0,
         }
 
     def test_quantile_validation(self):
         with pytest.raises(ConfigError):
             Histogram("h").quantile(1.5)
+
+    def test_nearest_rank_percentiles_are_exact_samples(self):
+        h = Histogram("h")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(50.0) == 50.0  # ceil(0.5 * 100) = rank 50
+        assert h.percentile(95.0) == 95.0
+        assert h.percentile(99.0) == 99.0
+        assert h.percentile(100.0) == 100.0
+        # Every result is one of the observed samples.
+        for p in (1, 33.3, 66.6, 97.5):
+            assert h.percentile(p) in h.samples
+
+    def test_percentile_single_sample(self):
+        h = Histogram("h")
+        h.observe(42.0)
+        for p in (0.0, 50.0, 99.0, 100.0):
+            assert h.percentile(p) == 42.0
+
+    def test_percentile_empty_returns_zero(self):
+        h = Histogram("h")
+        assert h.percentile(99.0) == 0.0
+        assert h.percentiles((50.0, 99.0)) == {50.0: 0.0, 99.0: 0.0}
+
+    def test_percentile_with_ties(self):
+        h = Histogram("h")
+        for v in (5.0, 5.0, 5.0, 5.0, 9.0):
+            h.observe(v)
+        assert h.percentile(50.0) == 5.0
+        assert h.percentile(80.0) == 5.0  # rank 4 of 5 is still the tie
+        assert h.percentile(81.0) == 9.0
+        assert h.percentile(99.0) == 9.0
+
+    def test_percentiles_batch_matches_single_calls(self):
+        h = Histogram("h")
+        for v in (3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0):
+            h.observe(v)
+        batch = h.percentiles((0.0, 50.0, 95.0, 99.0, 100.0))
+        for p, value in batch.items():
+            assert value == h.percentile(p)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigError):
+            Histogram("h").percentile(101.0)
+        with pytest.raises(ConfigError):
+            Histogram("h").percentiles([-1.0])
+
+    def test_summary_includes_p99(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.summary()["p99"] == 99.0
 
 
 class TestMetricsRegistry:

@@ -1,5 +1,8 @@
 """Tests for the python -m repro command-line interface."""
 
+import json
+import pathlib
+
 import pytest
 
 from repro.__main__ import main
@@ -28,3 +31,121 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRunTrace:
+    def test_run_quick_with_trace_dumps_jsonl(self, tmp_path, capsys):
+        target = tmp_path / "fig3c.jsonl"
+        assert main(["run", "fig3c", "--quick", "--trace", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out and "digest" in out
+        assert target.exists()
+        first = json.loads(target.read_text().splitlines()[0])
+        assert "seq" in first and "name" in first
+
+    def test_unknown_experiment_rejected_with_trace(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99", "--trace", str(tmp_path / "x.jsonl")])
+
+
+class TestTraceCommands:
+    def _record(self, tmp_path, name, *extra):
+        target = tmp_path / name
+        args = ["trace", "record", str(target), "--txs", "12", "--miners", "4"]
+        args.extend(extra)
+        assert main(args) == 0
+        return target
+
+    def test_record_then_profile(self, tmp_path, capsys):
+        trace = self._record(tmp_path, "run.jsonl")
+        out = capsys.readouterr().out
+        assert "digest" in out
+        assert main(["trace", "profile", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase attribution" in out
+        assert "transaction lineage" in out
+
+    def test_fast_vs_legacy_diff_is_clean(self, tmp_path, capsys):
+        fast = self._record(tmp_path, "fast.jsonl", "--engine", "fast")
+        legacy = self._record(tmp_path, "legacy.jsonl", "--engine", "legacy")
+        assert main(["trace", "diff", str(fast), str(legacy)]) == 0
+        out = capsys.readouterr().out
+        assert "no deterministic divergence" in out
+
+    def test_diff_flags_a_perturbed_record(self, tmp_path, capsys):
+        trace = self._record(tmp_path, "run.jsonl")
+        lines = trace.read_text().splitlines()
+        perturbed = json.loads(lines[4])
+        perturbed["time"] = (perturbed.get("time") or 0.0) + 123.0
+        lines[4] = json.dumps(perturbed, sort_keys=True)
+        other = tmp_path / "perturbed.jsonl"
+        other.write_text("\n".join(lines) + "\n")
+        assert main(["trace", "diff", str(trace), str(other)]) == 1
+        out = capsys.readouterr().out
+        assert "first deterministic divergence at record 4" in out
+
+    def test_digest_matches_recorded_digest(self, tmp_path, capsys):
+        trace = self._record(tmp_path, "run.jsonl")
+        recorded = capsys.readouterr().out.split("digest ")[-1].strip()
+        assert main(["trace", "digest", str(trace)]) == 0
+        assert capsys.readouterr().out.strip() == recorded
+
+    def test_missing_trace_file_is_a_data_error(self, tmp_path, capsys):
+        assert main(["trace", "profile", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_trace_names_the_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"seq": 0, "name": "a"}\n{oops\n')
+        assert main(["trace", "profile", str(bad)]) == 2
+        assert "line 2" in capsys.readouterr().err
+
+
+class TestBenchCommands:
+    RESULTS = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+
+    def test_history_over_committed_results(self, capsys):
+        assert main(["bench", "history"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark records:" in out
+
+    def test_check_passes_on_committed_results(self, capsys):
+        assert main(["bench", "check"]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_check_fails_on_injected_regression(self, tmp_path, capsys):
+        source = next(iter(sorted(self.RESULTS.glob("BENCH_*.json"))))
+        record = json.loads(source.read_text())
+
+        def degrade(node):
+            found = False
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    if (
+                        isinstance(value, (int, float))
+                        and not isinstance(value, bool)
+                        and "speedup" in key
+                    ):
+                        node[key] = value * 0.5
+                        found = True
+                    elif isinstance(value, (dict, list)):
+                        found = degrade(value) or found
+            elif isinstance(node, list):
+                for value in node:
+                    found = degrade(value) or found
+            return found
+
+        assert degrade(record), "expected a speedup metric in the baseline"
+        candidate_dir = tmp_path / "candidate"
+        candidate_dir.mkdir()
+        (candidate_dir / source.name).write_text(json.dumps(record))
+        assert (
+            main(["bench", "check", "--candidate", str(candidate_dir)]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_check_errors_on_empty_baseline_dir(self, tmp_path, capsys):
+        assert main(["bench", "check", "--baseline", str(tmp_path)]) == 2
+        assert "no BENCH_*.json records" in capsys.readouterr().err
