@@ -15,10 +15,16 @@ Usage::
     python -m repro bench history         # BENCH_*.json trajectory table
     python -m repro bench check           # nonzero exit on a regression
 
+    python -m repro scenario list         # the adversarial scenario library
+    python -m repro scenario run takeover --seed 0 --trace takeover.jsonl
+    python -m repro scenario sweep        # empirical Eq. 3 / Fig. 1d overlay
+
 ``trace diff`` exits 1 when the traces deterministically diverge;
 ``bench check`` exits 1 when a tracked metric regresses beyond the
-tolerance; trace/bench data errors (missing file, corrupt JSONL) are
-reported on stderr with exit code 2.
+tolerance; ``scenario sweep`` exits 1 when an empirical corruption rate
+leaves binomial confidence of the Eq. 3 curve; trace/bench/scenario data
+errors (missing file, corrupt JSONL, unknown scenario) are reported on
+stderr with exit code 2.
 """
 
 from __future__ import annotations
@@ -125,6 +131,81 @@ def _trace_digest(args) -> int:
 
     print(digest_of_jsonl(args.trace))
     return 0
+
+
+# ----------------------------------------------------------------------
+# scenario subcommands
+# ----------------------------------------------------------------------
+def _scenario_list(args) -> int:
+    from repro.scenarios import get_scenario, scenario_names
+
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        print(f"{name:12s} {scenario.summary} [{scenario.paper_ref}]")
+    return 0
+
+
+def _scenario_run(args) -> int:
+    import json
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    scenario = get_scenario(args.name)
+    outcome = run_scenario(scenario, seed=args.seed, engine=args.engine)
+    report = outcome.report.as_dict()
+    extras = report.pop("extras")
+    for key, value in report.items():
+        print(f"{key}: {value}")
+    for key, value in extras.items():
+        print(f"extras.{key}: {value}")
+    print(f"trace digest {outcome.digest}")
+    if args.trace:
+        target = outcome.result.trace.write_jsonl(args.trace)
+        print(f"trace written to {target} ({len(outcome.result.trace)} records)")
+    if args.json:
+        payload = outcome.report.as_dict()
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 0
+
+
+def _scenario_sweep(args) -> int:
+    import json
+
+    from repro.errors import ScenarioError
+    from repro.scenarios import (
+        DEFAULT_POINTS,
+        render_sweep,
+        takeover_corruption_sweep,
+    )
+
+    if args.points:
+        try:
+            points = tuple(
+                (int(m), float(f))
+                for m, f in (point.split(":") for point in args.points.split(","))
+            )
+        except ValueError as exc:
+            raise ScenarioError(
+                f"--points wants 'miners:fraction,...', got {args.points!r}"
+            ) from exc
+    else:
+        points = DEFAULT_POINTS
+    results = takeover_corruption_sweep(
+        points=points,
+        trials=args.trials,
+        seed=args.seed,
+        engine=args.engine,
+    )
+    print(render_sweep(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump([p.as_dict() for p in results], handle, indent=2)
+            handle.write("\n")
+        print(f"sweep written to {args.json}")
+    return 0 if all(p.within_tolerance for p in results) else 1
 
 
 # ----------------------------------------------------------------------
@@ -248,6 +329,50 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     digest.add_argument("trace", help="JSONL trace path")
 
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="adversarial scenarios through the full engine"
+    )
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+
+    scenario_sub.add_parser("list", help="list the scenario library")
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario and print its detection report"
+    )
+    scenario_run.add_argument("name", help="scenario name (see 'scenario list')")
+    scenario_run.add_argument("--seed", type=int, default=0)
+    scenario_run.add_argument(
+        "--engine", choices=("fast", "legacy"), default="fast"
+    )
+    scenario_run.add_argument(
+        "--trace", metavar="PATH", help="dump the run's JSONL trace here"
+    )
+    scenario_run.add_argument(
+        "--json", metavar="PATH", help="write the detection report as JSON"
+    )
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep",
+        help="empirical vs analytical shard corruption (Eq. 3 / Fig. 1d)",
+    )
+    scenario_sweep.add_argument(
+        "--trials", type=int, default=120, help="trials per grid point"
+    )
+    scenario_sweep.add_argument("--seed", type=int, default=0)
+    scenario_sweep.add_argument(
+        "--engine", choices=("fast", "legacy"), default="fast"
+    )
+    scenario_sweep.add_argument(
+        "--points",
+        metavar="M:F,...",
+        help="grid as 'miners:fraction' pairs, e.g. '7:0.18,9:0.32'",
+    )
+    scenario_sweep.add_argument(
+        "--json", metavar="PATH", help="write the sweep points as JSON"
+    )
+
     bench_parser = subparsers.add_parser(
         "bench", help="benchmark regression observatory over BENCH_*.json"
     )
@@ -321,6 +446,18 @@ def main(argv: list[str] | None = None) -> int:
             "diff": _trace_diff,
             "digest": _trace_digest,
         }[args.trace_command]
+        try:
+            return handler(args)
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "scenario":
+        handler = {
+            "list": _scenario_list,
+            "run": _scenario_run,
+            "sweep": _scenario_sweep,
+        }[args.scenario_command]
         try:
             return handler(args)
         except (ReproError, OSError) as exc:

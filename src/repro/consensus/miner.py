@@ -53,6 +53,38 @@ class MinerBehavior(abc.ABC):
         """
         return true_shard
 
+    # The three hooks below are the adversary surface of the scenario
+    # suite (repro.scenarios). They default to "do exactly what an
+    # honest miner does", so every pre-existing behavior — and every
+    # recorded trace-digest baseline — is untouched unless a scenario
+    # installs an overriding behavior.
+
+    def choose_parent(self, ledger) -> str | None:
+        """The block hash to mine on, or ``None`` for the chain head.
+
+        Honest miners extend their canonical head (longest chain). A
+        forking adversary overrides this to extend a private branch —
+        e.g. the coalition-pure censorship fork of the shard-takeover
+        scenario. A non-``None`` return must be a hash the ledger knows.
+        """
+        return None
+
+    def broadcast_targets(self, node_ids: list[str]) -> list[str] | None:
+        """Who receives this miner's freshly forged blocks.
+
+        ``None`` (honest) broadcasts to every node. A withholding
+        adversary returns a restricted recipient list — e.g. everyone
+        except the eclipsed victim.
+        """
+        return None
+
+    def observe_forged(self, block) -> None:
+        """Called with each block this miner forges, before broadcast.
+
+        Honest miners ignore it; coalition behaviors use it to keep a
+        shared view of their private fork without touching the network.
+        """
+
 
 class HonestBehavior(MinerBehavior):
     """Fee-greedy honest miner: the Ethereum default of Sec. II-B."""

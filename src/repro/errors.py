@@ -100,6 +100,21 @@ class ConfigError(ReproError):
     """A configuration object is internally inconsistent."""
 
 
+class FaultConfigError(ConfigError, SimulationError):
+    """A fault plan's fields are out of range.
+
+    Raised at construction time, naming the offending field — a bad
+    probability or a negative delay must fail loudly up front, never
+    deep inside a seeded run. Inherits both :class:`ConfigError` (it is
+    a configuration problem) and :class:`SimulationError` (it belongs
+    to the simulation layer), so either handler catches it.
+    """
+
+
+class ScenarioError(SimulationError):
+    """An adversarial scenario was misconfigured or failed to build."""
+
+
 class WorkloadError(ReproError):
     """A workload generator was given invalid parameters."""
 

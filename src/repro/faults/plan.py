@@ -11,13 +11,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigError
+from repro.errors import FaultConfigError
 from repro.net.messages import MessageKind
 
 
 def _check_probability(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
-        raise ConfigError(f"{name} must be a probability in [0, 1], got {value}")
+        raise FaultConfigError(
+            f"{name} must be a probability in [0, 1], got {value}"
+        )
 
 
 @dataclass(frozen=True)
@@ -41,7 +43,10 @@ class MessageFaults:
         _check_probability("duplicate_probability", self.duplicate_probability)
         _check_probability("delay_spike_probability", self.delay_spike_probability)
         if self.delay_spike_seconds < 0:
-            raise ConfigError("delay_spike_seconds cannot be negative")
+            raise FaultConfigError(
+                f"delay_spike_seconds cannot be negative, "
+                f"got {self.delay_spike_seconds}"
+            )
 
     @property
     def is_noop(self) -> bool:
@@ -67,9 +72,12 @@ class CrashEvent:
 
     def __post_init__(self) -> None:
         if self.at < 0:
-            raise ConfigError("crash time cannot be negative")
+            raise FaultConfigError(f"at cannot be negative, got {self.at}")
         if self.recover_at is not None and self.recover_at <= self.at:
-            raise ConfigError("recovery must come strictly after the crash")
+            raise FaultConfigError(
+                f"recover_at ({self.recover_at}) must come strictly "
+                f"after at ({self.at})"
+            )
 
     def crashed_at(self, time: float) -> bool:
         if time < self.at:
@@ -91,11 +99,16 @@ class Partition:
 
     def __post_init__(self) -> None:
         if not self.members:
-            raise ConfigError("a partition needs at least one member")
+            raise FaultConfigError("members: a partition needs at least one")
         if self.starts_at < 0:
-            raise ConfigError("partition start cannot be negative")
+            raise FaultConfigError(
+                f"starts_at cannot be negative, got {self.starts_at}"
+            )
         if self.heals_at is not None and self.heals_at <= self.starts_at:
-            raise ConfigError("partition must heal strictly after it starts")
+            raise FaultConfigError(
+                f"heals_at ({self.heals_at}) must come strictly after "
+                f"starts_at ({self.starts_at})"
+            )
 
     def active_at(self, time: float) -> bool:
         if time < self.starts_at:
@@ -129,8 +142,8 @@ class FaultyLeader:
 
     def __post_init__(self) -> None:
         if self.mode not in (WITHHOLD, EQUIVOCATE):
-            raise ConfigError(
-                f"leader fault mode must be '{WITHHOLD}' or '{EQUIVOCATE}', "
+            raise FaultConfigError(
+                f"mode must be '{WITHHOLD}' or '{EQUIVOCATE}', "
                 f"got {self.mode!r}"
             )
 
@@ -159,6 +172,28 @@ class FaultPlan:
     crashes: tuple[CrashEvent, ...] = ()
     partitions: tuple[Partition, ...] = ()
     leader: FaultyLeader | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.default_message_faults, MessageFaults):
+            raise FaultConfigError(
+                "default_message_faults must be a MessageFaults, got "
+                f"{type(self.default_message_faults).__name__}"
+            )
+        for entry in self.message_faults:
+            try:
+                kind, faults = entry
+            except (TypeError, ValueError):
+                raise FaultConfigError(
+                    f"message_faults entries must be (MessageKind, "
+                    f"MessageFaults) pairs, got {entry!r}"
+                ) from None
+            if not isinstance(kind, MessageKind) or not isinstance(
+                faults, MessageFaults
+            ):
+                raise FaultConfigError(
+                    f"message_faults entries must be (MessageKind, "
+                    f"MessageFaults) pairs, got ({kind!r}, {faults!r})"
+                )
 
     @classmethod
     def none(cls) -> "FaultPlan":

@@ -101,6 +101,7 @@ class FullNode(Node):
         "_applied",
         "_applied_index",
         "on_pooled",
+        "on_rejected",
     )
 
     #: Cap on buffered out-of-order blocks (drop-oldest beyond this).
@@ -156,6 +157,12 @@ class FullNode(Node):
         # protocol simulation only when lineage tracing is on, so the
         # common path pays a single None check per pooled transaction.
         self.on_pooled: Callable[["FullNode", Transaction], None] | None = None
+        # Forensic hook: called as ``on_rejected(node, block, reason)``
+        # whenever this node rejects a block (membership liar, selection
+        # deviation). Installed by the protocol simulation only when
+        # lineage tracing is on — the detection-latency signal of the
+        # adversarial scenario suite.
+        self.on_rejected: Callable[["FullNode", Block, str], None] | None = None
 
     # ------------------------------------------------------------------
     # Node protocol
@@ -201,6 +208,8 @@ class FullNode(Node):
         if not verdict.accepted:
             self.stats.blocks_rejected += 1
             self.stats.rejection_reasons.append(verdict.reason)
+            if self.on_rejected is not None:
+                self.on_rejected(self, block, verdict.reason)
             return verdict
         if not verdict.recorded:
             self.stats.blocks_foreign += 1
@@ -214,6 +223,8 @@ class FullNode(Node):
                 f"transaction selection"
             )
             self.stats.rejection_reasons.append(reason)
+            if self.on_rejected is not None:
+                self.on_rejected(self, block, reason)
             return BlockVerdict(accepted=False, recorded=False, reason=reason)
         self._record_block(block)
         return verdict
@@ -436,6 +447,18 @@ class FullNode(Node):
         # account) apply once its predecessor lands earlier in the block.
         window = max(capacity, min(len(self.mempool), capacity * 2 + 8))
         candidates = list(self.behavior.pick_transactions(self.mempool, window))
+        # Adversarial fork point: a behavior may extend a non-head block
+        # (e.g. the coalition-pure censorship fork). Honest behaviors
+        # return None and keep the longest-chain head. The speculative
+        # state below tracks the *canonical* chain, so forking behaviors
+        # are expected to pack no transactions (the censorship attack
+        # mines empty blocks by construction).
+        parent_hash = self.ledger.head_hash
+        height = self.ledger.height + 1
+        fork_parent = self.behavior.choose_parent(self.ledger)
+        if fork_parent is not None:
+            parent_hash = fork_parent
+            height = self.ledger.block(fork_parent).header.height + 1
         speculative = self.state.snapshot()
         packable: list[Transaction] = []
         progress = True
@@ -451,10 +474,10 @@ class FullNode(Node):
                     remaining.append(tx)
             candidates = remaining
         return Block.build(
-            parent_hash=self.ledger.head_hash,
+            parent_hash=parent_hash,
             miner=self.identity.public,
             shard_id=self.behavior.claimed_shard(self.shard_id),
-            height=self.ledger.height + 1,
+            height=height,
             timestamp=timestamp,
             transactions=packable,
         )

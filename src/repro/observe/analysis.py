@@ -127,10 +127,19 @@ class TxLineage:
     included_by: str | None = None
     confirmed_at: float | None = None
     confirmed_shard: int | None = None
+    # Adversarial edges: how often a confirmed transaction was reorged
+    # out of every node's canonical view (``tx.reverted`` events), and
+    # when that last happened. Zero/None on attack-free lineages.
+    reverted_count: int = 0
+    last_reverted_at: float | None = None
 
     @property
     def confirmed(self) -> bool:
         return self.confirmed_at is not None
+
+    @property
+    def reverted(self) -> bool:
+        return self.reverted_count > 0
 
     @property
     def latency(self) -> float | None:
@@ -201,6 +210,10 @@ def build_lineages(payloads: Iterable[dict]) -> dict[int, TxLineage]:
             if entry.confirmed_at is None:
                 entry.confirmed_at = payload.get("time")
                 entry.confirmed_shard = payload.get("shard")
+        elif name == "tx.reverted":
+            entry = lineage(attrs["tx"])
+            entry.reverted_count += 1
+            entry.last_reverted_at = payload.get("time")
     if inject_time is not None:
         for entry in lineages.values():
             entry.injected_at = inject_time
@@ -296,6 +309,14 @@ def render_profile(payloads: list[dict], title: str = "trace") -> str:
             pending, key=lambda e: e.tx)[:10])
         suffix = ", …" if len(pending) > 10 else ""
         lines.append(f"never confirmed: tx [{shown}{suffix}]")
+    reverted = [e for e in lineages.values() if e.reverted]
+    if reverted:
+        events = sum(e.reverted_count for e in reverted)
+        lines.append(
+            f"reverted: {len(reverted)} txs reorged out of every "
+            f"canonical view ({events} reversion events) — "
+            "adversarial forks in this trace"
+        )
     return "\n".join(lines)
 
 

@@ -67,6 +67,13 @@ class ProtocolConfig:
         Leader-silence deadline: a node without a verified unification
         packet by this time falls back to solo (un-unified) mining so
         its shard keeps confirming instead of stalling.
+    run_to_horizon:
+        When True the run ignores the confirmed-set stop condition and
+        always executes until ``max_duration``. Adversarial scenarios
+        need this: a censorship fork race must play out over the whole
+        horizon even while (or because) every transaction is confirmed
+        or suppressed early. Default False — the normal stop condition
+        is untouched, keeping all recorded digests bit-identical.
     trace:
         Observability hook: a :class:`~repro.observe.Tracer` to emit
         into, ``True`` for a fresh tracer, ``False`` to force tracing
@@ -97,6 +104,7 @@ class ProtocolConfig:
     leader_timeout: float = 10.0
     trace: Tracer | bool | None = None
     engine: str = "fast"
+    run_to_horizon: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ("fast", "legacy"):
@@ -339,6 +347,7 @@ class ProtocolSimulation:
             )
             if self._lineage:
                 node.on_pooled = self._note_pooled
+                node.on_rejected = self._note_rejected
             self._network.register(node)
             self._nodes[miner.public] = node
             self._mining[miner.public] = MiningProcess(
@@ -360,6 +369,19 @@ class ProtocolSimulation:
             shard=node.shard_id,
             actor=node.node_id,
             tx=idx,
+        )
+
+    def _note_rejected(self, node: FullNode, block, reason: str) -> None:
+        """Lineage: one node rejecting one block — the detection signal
+        scenario metrics compute time-to-detect from."""
+        self._tracer.event(
+            "block.rejected",
+            time=self._scheduler.now,
+            phase="verify",
+            shard=node.shard_id,
+            actor=node.node_id,
+            miner=block.header.miner,
+            height=block.header.height,
         )
 
     def _seed_contracts(self, state: WorldState) -> None:
@@ -453,7 +475,13 @@ class ProtocolSimulation:
 
         target_ids = self._relevant_tx_ids()
 
-        if self._fast_engine:
+        if self._config.run_to_horizon:
+            # Scenario mode: chain races must play out over the whole
+            # horizon, so the confirmed-set stop condition is disabled.
+            def drained() -> bool:
+                return False
+
+        elif self._fast_engine:
             # The stop condition runs after EVERY event. Recompute the
             # confirmed union only when some chain's head actually moved
             # (the ledgers' version counters are bumped on head changes);
@@ -572,12 +600,18 @@ class ProtocolSimulation:
         node's canonical confirmed set — the first confirmation
         anywhere, attributed to that ledger's shard. Node iteration
         order and the per-batch index sort are both deterministic.
+
+        The probe also tracks the *union* of confirmed sets: a
+        transaction leaving the union (every node reorged it out) emits
+        a ``tx.reverted`` event — the safety-violation edge adversarial
+        scenarios detect shard takeovers by. ``tx.confirmed`` stays
+        first-only; ``tx.reverted`` fires on every downward transition.
         """
         tracer = self._tracer
         tx_index = self._tx_index
         nodes = list(self._nodes.values())
         known: set[str] = set()
-        state = {"stamp": -1}
+        state: dict = {"stamp": -1, "union": set()}
 
         def probe() -> None:
             stamp = sum(node.ledger.version for node in nodes)
@@ -585,9 +619,11 @@ class ProtocolSimulation:
                 return
             state["stamp"] = stamp
             fresh: list[tuple[int, int]] = []
+            union: set[str] = set()
             for node in nodes:
                 shard = node.shard_id
                 for tx_id in node.ledger.confirmed_tx_ids():
+                    union.add(tx_id)
                     if tx_id in known:
                         continue
                     known.add(tx_id)
@@ -602,6 +638,21 @@ class ProtocolSimulation:
                     shard=shard,
                     tx=idx,
                 )
+            gone = state["union"] - union
+            if gone:
+                reverted = sorted(
+                    idx
+                    for idx in (tx_index.get(tx_id) for tx_id in gone)
+                    if idx is not None
+                )
+                for idx in reverted:
+                    tracer.event(
+                        "tx.reverted",
+                        time=self._scheduler.now,
+                        phase="confirm",
+                        tx=idx,
+                    )
+            state["union"] = union
 
         return probe
 
@@ -786,6 +837,7 @@ class ProtocolSimulation:
         block = node.forge_block(
             timestamp=self._scheduler.now, capacity=self._config.block_capacity
         )
+        node.behavior.observe_forged(block)
         node.adopt_block(block)
         self._rewards.credit_block(block)
         if self._tracer is not None:
@@ -819,9 +871,23 @@ class ProtocolSimulation:
             self._tracer.metrics.histogram("protocol.block_txs").observe(
                 tx_count
             )
-        self._network.broadcast(
-            MessageKind.BLOCK, sender=public, payload=block, shard_id=None
-        )
+        targets = node.behavior.broadcast_targets(self._network.node_ids)
+        if targets is None:
+            self._network.broadcast(
+                MessageKind.BLOCK, sender=public, payload=block, shard_id=None
+            )
+        else:
+            # Withholding adversary: the block reaches only the chosen
+            # recipients. Both engines share this dispatch, so the
+            # latency-RNG draw order (one draw per actual recipient, in
+            # list order) stays engine-identical.
+            self._network.multicast(
+                MessageKind.BLOCK,
+                sender=public,
+                payload=block,
+                recipients=targets,
+                shard_id=None,
+            )
         self._schedule_mining(public)
 
     # ------------------------------------------------------------------

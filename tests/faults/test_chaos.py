@@ -1,0 +1,111 @@
+"""Chaos plan: every fault class at once, stats cross-checked vs trace.
+
+Satellite 2 of the adversarial-suite PR. One plan combines lossy/dup/
+delayed messaging, a crash with recovery, a two-node partition, and an
+equivocating unification leader. The run must stay deterministic and —
+the point of the test — ``FaultStats`` must agree exactly with the
+per-category fault events the tracer recorded: the counters and the
+trace are two independent views of the same injections.
+"""
+
+from repro.consensus.miner import MinerIdentity
+from repro.consensus.pow import PoWParameters
+from repro.faults.plan import (
+    EQUIVOCATE,
+    CrashEvent,
+    FaultPlan,
+    FaultyLeader,
+    MessageFaults,
+    Partition,
+)
+from repro.net.network import LatencyModel
+from repro.observe import Tracer
+from repro.sim.protocol import ProtocolConfig, ProtocolSimulation
+from repro.workloads.generators import uniform_contract_workload
+
+FAST_POW = PoWParameters(difficulty=0x40000 // 60)
+LOW_LATENCY = LatencyModel(base_seconds=0.01, jitter_seconds=0.01)
+
+
+def chaos_inputs():
+    miners = [MinerIdentity.create(f"chaos-{i}") for i in range(6)]
+    txs = uniform_contract_workload(total_txs=24, contract_shards=1, seed=3)
+    plan = FaultPlan(
+        default_message_faults=MessageFaults(
+            drop_probability=0.08,
+            duplicate_probability=0.08,
+            delay_spike_probability=0.1,
+            delay_spike_seconds=0.5,
+        ),
+        crashes=(CrashEvent(miners[2].public, at=5.0, recover_at=15.0),),
+        partitions=(
+            Partition(
+                members=(miners[0].public, miners[1].public),
+                starts_at=2.0,
+                heals_at=12.0,
+            ),
+        ),
+        leader=FaultyLeader(EQUIVOCATE),
+    )
+    return miners, txs, plan
+
+
+def run_chaos(miners, txs, plan):
+    config = ProtocolConfig(
+        pow_params=FAST_POW,
+        latency=LOW_LATENCY,
+        seed=5,
+        max_duration=2_000.0,
+        fault_plan=plan,
+        leader_timeout=5.0,
+        retransmit_interval=2.0,
+        trace=Tracer(),
+    )
+    # unified=True so the equivocating-leader arm of the plan engages:
+    # leader faults only exist during parameter unification.
+    sim = ProtocolSimulation(miners, txs, config=config, unified=True)
+    return sim, sim.run()
+
+
+class TestChaosPlan:
+    def test_stats_match_trace_event_counts(self):
+        miners, txs, plan = chaos_inputs()
+        _, result = run_chaos(miners, txs, plan)
+        stats = result.fault_stats
+        trace = result.trace
+
+        # Every fault category actually fired under this plan/seed...
+        assert stats.drops > 0
+        assert stats.duplicates > 0
+        assert stats.delay_spikes > 0
+        assert stats.partition_drops > 0
+        assert stats.crash_drops > 0
+
+        # ...and each counter equals the tracer's independent tally.
+        assert stats.drops == trace.count("fault.drop")
+        assert stats.duplicates == trace.count("fault.duplicate")
+        assert stats.delay_spikes == trace.count("fault.delay")
+        assert stats.partition_drops == trace.count("fault.partition_drop")
+        # Crash losses have two sides: messages a crashed node failed to
+        # send, and in-flight messages arriving at a crashed recipient.
+        assert stats.crash_drops == (
+            trace.count("fault.crash_drop") + trace.count("fault.delivery_drop")
+        )
+
+        # The equivocating leader broadcast once (one send-side trace
+        # event) and every honest miner independently caught it.
+        assert trace.count("leader.equivocate") == 1
+        assert result.equivocations_detected == len(miners) - 1
+        assert result.fallbacks > 0  # honest miners fell back to solo
+
+        # Chaos degrades but does not kill: the run still confirms work.
+        assert result.confirmed_tx_ids
+
+    def test_chaos_run_is_deterministic(self):
+        miners, txs, plan = chaos_inputs()
+        _, first = run_chaos(miners, txs, plan)
+        _, second = run_chaos(miners, txs, plan)
+        assert first.fault_stats == second.fault_stats
+        assert first.confirmed_tx_ids == second.confirmed_tx_ids
+        assert first.duration == second.duration
+        assert first.trace.digest() == second.trace.digest()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FaultConfigError, SimulationError
 from repro.faults.plan import (
     CrashEvent,
     FaultPlan,
@@ -106,6 +106,59 @@ class TestFaultPlan:
         assert plan.faults_for(MessageKind.BLOCK) is block_faults
         assert plan.faults_for(MessageKind.TX).is_noop
         assert plan.is_active
+
+
+class TestConstructionErrors:
+    """Bad fault configs are SimulationErrors that name the bad field.
+
+    ``FaultConfigError`` inherits from both ``ConfigError`` (it *is* a
+    configuration mistake) and ``SimulationError`` (so sim-level catch
+    blocks see it), and every message leads with the offending field so
+    a failing chaos run points straight at the plan.
+    """
+
+    @pytest.mark.parametrize("field_name", [
+        "drop_probability", "duplicate_probability", "delay_spike_probability",
+    ])
+    def test_probability_errors_name_the_field(self, field_name):
+        with pytest.raises(SimulationError, match=field_name):
+            MessageFaults(**{field_name: 2.0})
+        with pytest.raises(SimulationError, match=field_name):
+            MessageFaults(**{field_name: -0.5})
+
+    def test_negative_delay_names_the_field(self):
+        with pytest.raises(SimulationError, match="delay_spike_seconds"):
+            MessageFaults(delay_spike_seconds=-0.1)
+
+    def test_crash_errors_name_the_field(self):
+        with pytest.raises(SimulationError, match="at cannot be negative"):
+            CrashEvent("n1", at=-2.0)
+        with pytest.raises(SimulationError, match="recover_at"):
+            CrashEvent("n1", at=3.0, recover_at=1.0)
+
+    def test_partition_errors_name_the_field(self):
+        with pytest.raises(SimulationError, match="members"):
+            Partition(members=())
+        with pytest.raises(SimulationError, match="starts_at"):
+            Partition(members=("a",), starts_at=-1.0)
+        with pytest.raises(SimulationError, match="heals_at"):
+            Partition(members=("a",), starts_at=2.0, heals_at=1.0)
+
+    def test_leader_error_names_the_field(self):
+        with pytest.raises(SimulationError, match="mode"):
+            FaultyLeader("explode")
+
+    def test_plan_rejects_malformed_entries(self):
+        with pytest.raises(SimulationError, match="default_message_faults"):
+            FaultPlan(default_message_faults=0.5)
+        with pytest.raises(SimulationError, match="message_faults"):
+            FaultPlan(message_faults=(MessageKind.BLOCK,))
+        with pytest.raises(SimulationError, match="message_faults"):
+            FaultPlan(message_faults=((MessageKind.BLOCK, 0.5),))
+
+    def test_fault_config_error_is_both_hierarchies(self):
+        assert issubclass(FaultConfigError, ConfigError)
+        assert issubclass(FaultConfigError, SimulationError)
 
 
 class TestFaultStats:

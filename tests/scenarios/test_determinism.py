@@ -1,0 +1,56 @@
+"""Scenario determinism: (scenario, seed) pins the trace on both engines.
+
+Satellite 3 of the adversarial-suite PR. Same (scenario, seed) must
+yield bit-identical trace digests in-process and across the fast and
+frozen-legacy engines; different seeds must vary the metrics while the
+report schema stays fixed.
+"""
+
+import pytest
+
+from repro.scenarios import DetectionReport, get_scenario, run_scenario, scenario_names
+
+#: Cheap-but-representative subset for the per-scenario parity sweep.
+#: ("takeover" exercises behaviors + run_to_horizon, "double-spend" the
+#: vanilla path, "eclipse" fault plans + probes.)
+PARITY_SCENARIOS = ["takeover", "double-spend", "eclipse"]
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_same_seed_same_digest_fast(name):
+    first = run_scenario(get_scenario(name), seed=1)
+    second = run_scenario(get_scenario(name), seed=1)
+    assert first.digest == second.digest
+    assert first.report == second.report
+
+
+@pytest.mark.parametrize("name", PARITY_SCENARIOS)
+def test_fast_legacy_digest_parity(name):
+    fast = run_scenario(get_scenario(name), seed=0, engine="fast")
+    legacy = run_scenario(get_scenario(name), seed=0, engine="legacy")
+    assert fast.digest == legacy.digest
+    fast_dict = fast.report.as_dict()
+    legacy_dict = legacy.report.as_dict()
+    assert fast_dict.pop("engine") == "fast"
+    assert legacy_dict.pop("engine") == "legacy"
+    # Identical runs must yield identical detection verdicts.
+    assert fast_dict == legacy_dict
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_different_seeds_vary_metrics_not_schema(name):
+    a = run_scenario(get_scenario(name), seed=0)
+    b = run_scenario(get_scenario(name), seed=2)
+    assert a.digest != b.digest
+    # Schema stability: same core keys, same extras keys, per scenario.
+    a_dict, b_dict = a.report.as_dict(), b.report.as_dict()
+    assert set(a_dict) == set(b_dict) == set(DetectionReport.core_keys()) | {"extras"}
+    assert set(a_dict["extras"]) == set(b_dict["extras"])
+
+
+def test_takeover_seeds_change_time_to_detect():
+    a = run_scenario(get_scenario("takeover"), seed=0)
+    b = run_scenario(get_scenario("takeover"), seed=2)
+    assert a.report.time_to_detect != b.report.time_to_detect
+    # Both seeds still reach the same verdict at the default coalition.
+    assert a.report.safety_violated and b.report.safety_violated

@@ -1,0 +1,75 @@
+"""Empirical Fig. 1d overlay: engine-level takeover runs vs Eq. 3.
+
+The acceptance test of the adversarial-suite PR: at three (miners,
+adversary-fraction) grid points the empirical shard-corruption rate
+measured from full engine runs must match the Eq. 3 closed form within
+binomial-confidence tolerance.
+"""
+
+import pytest
+
+from repro.core.security import shard_corruption_probability
+from repro.errors import ScenarioError
+from repro.scenarios import DEFAULT_POINTS, render_sweep, takeover_corruption_sweep
+
+#: Module-scope sweep so the ~12s of engine runs are paid once.
+TRIALS = 60
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return takeover_corruption_sweep(
+        points=DEFAULT_POINTS, trials=TRIALS, seed=0, horizon=50.0
+    )
+
+
+def test_three_points_within_binomial_tolerance(sweep):
+    assert len(sweep) == len(DEFAULT_POINTS) >= 3
+    for point in sweep:
+        assert point.trials == TRIALS
+        assert point.engine_trials > 0, "sweep must exercise the engine"
+        assert point.within_tolerance, (
+            f"m={point.miners} f={point.adversary_fraction}: empirical "
+            f"{point.empirical:.4f} vs Eq.3 {point.analytical:.4f} "
+            f"(|z|={abs(point.z):.2f}, tol={point.tolerance:.4f})"
+        )
+
+
+def test_analytical_column_is_eq3(sweep):
+    for point in sweep:
+        assert point.analytical == pytest.approx(
+            shard_corruption_probability(point.miners, point.adversary_fraction)
+        )
+        assert point.empirical_safety == pytest.approx(1.0 - point.empirical)
+        assert point.analytical_safety == pytest.approx(1.0 - point.analytical)
+
+
+def test_corruption_grows_with_adversary_fraction(sweep):
+    # Fig. 1d shape: the rightmost grid point (f=0.45) corrupts far more
+    # often than the leftmost (f=0.18).
+    assert sweep[-1].empirical > sweep[0].empirical
+
+
+def test_zero_fraction_skips_the_engine():
+    (point,) = takeover_corruption_sweep(points=((7, 0.0),), trials=10, seed=0)
+    assert point.empirical == 0.0
+    assert point.engine_trials == 0  # an empty coalition cannot corrupt
+    assert point.within_tolerance
+
+
+def test_invalid_points_rejected():
+    with pytest.raises(ScenarioError, match=r"\[0, 1\)"):
+        takeover_corruption_sweep(points=((7, 1.5),), trials=10)
+    with pytest.raises(ScenarioError, match=r"\[0, 1\)"):
+        takeover_corruption_sweep(points=((7, 1.0),), trials=10)
+    with pytest.raises(ScenarioError):
+        takeover_corruption_sweep(points=((0, 0.3),), trials=10)
+    with pytest.raises(ScenarioError):
+        takeover_corruption_sweep(points=((7, 0.3),), trials=0)
+
+
+def test_render_sweep_table(sweep):
+    table = render_sweep(sweep)
+    for point in sweep:
+        assert str(point.miners) in table
+    assert "empirical" in table and "analytical" in table and "Eq. 3" in table

@@ -149,3 +149,58 @@ class TestBenchCommands:
     def test_check_errors_on_empty_baseline_dir(self, tmp_path, capsys):
         assert main(["bench", "check", "--baseline", str(tmp_path)]) == 2
         assert "no BENCH_*.json records" in capsys.readouterr().err
+
+
+class TestScenarioCommands:
+    def test_list_names_all_five(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("takeover", "double-spend", "griefing", "eclipse", "adaptive"):
+            assert name in out
+        assert "Eq. 3" in out  # paper anchors ride along
+
+    def test_run_prints_report_and_digest(self, capsys):
+        assert main(["scenario", "run", "double-spend"]) == 0
+        out = capsys.readouterr().out
+        assert "safety_violated: False" in out
+        assert "detected: True" in out
+        assert "extras.blocked_pairs:" in out
+        assert "trace digest " in out
+
+    def test_run_writes_trace_and_json(self, tmp_path, capsys):
+        trace = tmp_path / "ds.jsonl"
+        report = tmp_path / "ds.json"
+        assert main([
+            "scenario", "run", "double-spend",
+            "--trace", str(trace), "--json", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out and "report written to" in out
+        first = json.loads(trace.read_text().splitlines()[0])
+        assert "seq" in first and "name" in first
+        payload = json.loads(report.read_text())
+        for key in ("scenario", "seed", "engine", "safety_violated",
+                    "detected", "time_to_detect", "extras"):
+            assert key in payload
+
+    def test_unknown_scenario_is_a_data_error(self, capsys):
+        assert main(["scenario", "run", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'nosuch'" in err
+        assert "takeover" in err  # the error lists what is available
+
+    def test_small_sweep_within_tolerance(self, tmp_path, capsys):
+        target = tmp_path / "sweep.json"
+        assert main([
+            "scenario", "sweep", "--points", "5:0.2", "--trials", "12",
+            "--json", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "empirical" in out and "Eq. 3" in out
+        (point,) = json.loads(target.read_text())
+        assert point["miners"] == 5
+        assert point["within_tolerance"] is True
+
+    def test_malformed_points_is_a_data_error(self, capsys):
+        assert main(["scenario", "sweep", "--points", "bogus"]) == 2
+        assert "miners:fraction" in capsys.readouterr().err
