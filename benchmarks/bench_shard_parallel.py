@@ -1,0 +1,231 @@
+"""Shard-parallel engine sweep: per-shard event loops vs. the serial fast engine.
+
+Runs the full-node protocol simulation over a workers × shards × txs
+grid, comparing the serial fast engine against
+``engine="shard_parallel"`` (:mod:`repro.runtime.shard_workers`): one
+event loop per shard, cross-shard traffic exchanged at deterministic
+epoch barriers, optional fork-based worker processes.
+
+As in ``bench_protocol.py``, a separate traced pass asserts
+**bit-identical trace digests** between the engines before any timing is
+recorded — the speedup is only meaningful because the engines provably
+compute the same run. Timing legs then run untraced.
+
+Speedup keys are **informational** (never a ``bench check`` regression
+baseline) on hosts with fewer than 4 effective CPUs: a worker pool
+cannot beat a serial loop on one core, and committing that "slowdown"
+as a baseline is exactly the fig3c mistake this sweep replaces. CI's
+scaling-floor assertion (``--require-speedup``) is likewise only armed
+on ≥ 4 effective CPUs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # direct script execution
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import timed, write_bench_record
+from repro.consensus.miner import MinerIdentity
+from repro.runtime import effective_cpu_count
+from repro.runtime.shard_workers import fork_available
+from repro.sim.protocol import ProtocolConfig, ProtocolSimulation
+from repro.workloads.generators import uniform_contract_workload
+
+SEED = 11
+
+#: (name, miners, txs, contract_shards). The last profile is the
+#: acceptance one: 8 shards, block broadcasts fanning out to all 32
+#: nodes — the regime where per-shard loops have 8 independent event
+#: streams to run between barriers.
+PROFILES: list[tuple[str, int, int, int]] = [
+    ("small", 10, 200, 3),
+    ("broadcast-heavy", 32, 1200, 8),
+]
+
+QUICK_PROFILES: list[tuple[str, int, int, int]] = [
+    ("small", 10, 200, 3),
+    ("broadcast-heavy", 16, 400, 8),
+]
+
+#: Worker counts for the shard_parallel legs. 1 = the in-process
+#: sharded loops (always available); >1 forks that many workers.
+WORKER_SWEEP = [1, 2, 4, 8]
+
+
+def _build(
+    engine: str, miners: int, txs: int, shards: int, trace: bool, workers: int | None
+):
+    identities = [MinerIdentity.create(f"m{i}") for i in range(miners)]
+    workload = uniform_contract_workload(
+        total_txs=txs, contract_shards=shards, seed=SEED
+    )
+    config = ProtocolConfig(
+        seed=SEED,
+        engine=engine,
+        trace=trace,
+        max_duration=500_000.0,
+        shard_workers=workers,
+    )
+    return ProtocolSimulation(identities, workload, config=config)
+
+
+def _digest(engine: str, miners: int, txs: int, shards: int, workers: int | None) -> str:
+    result = _build(engine, miners, txs, shards, trace=True, workers=workers).run()
+    return result.trace.digest()
+
+
+def _timed_leg(
+    engine: str, miners: int, txs: int, shards: int, workers: int | None, repeats: int
+) -> tuple[float, int]:
+    confirmed = 0
+
+    def leg() -> None:
+        nonlocal confirmed
+        result = _build(
+            engine, miners, txs, shards, trace=False, workers=workers
+        ).run()
+        confirmed = len(result.confirmed_tx_ids)
+
+    wall = timed(leg, repeats=repeats)
+    return wall, confirmed
+
+
+def run_sweep(quick: bool = False) -> dict:
+    profiles = QUICK_PROFILES if quick else PROFILES
+    repeats = 1 if quick else 2
+    effective = effective_cpu_count()
+    gated = effective >= 4  # speedups are real baselines only here
+    suffix = "" if gated else "_informational"
+    worker_counts = [w for w in WORKER_SWEEP if w == 1 or fork_available()]
+    if quick:
+        worker_counts = worker_counts[:2]
+
+    rows = []
+    parity = True
+    for name, miners, txs, shards in profiles:
+        fast_digest = _digest("fast", miners, txs, shards, workers=None)
+        par_digest = _digest("shard_parallel", miners, txs, shards, workers=1)
+        profile_parity = fast_digest == par_digest
+        parity = parity and profile_parity
+        fast_s, fast_confirmed = _timed_leg(
+            "fast", miners, txs, shards, workers=None, repeats=repeats
+        )
+        worker_rows = []
+        for workers in worker_counts:
+            par_s, par_confirmed = _timed_leg(
+                "shard_parallel", miners, txs, shards, workers=workers,
+                repeats=repeats,
+            )
+            assert par_confirmed == fast_confirmed, (
+                f"{name}: engines confirmed different tx counts "
+                f"({par_confirmed} vs {fast_confirmed})"
+            )
+            worker_rows.append(
+                {
+                    "workers": workers,
+                    "wall_s": round(par_s, 4),
+                    f"speedup_vs_fast{suffix}": round(fast_s / par_s, 2),
+                }
+            )
+        rows.append(
+            {
+                "profile": name,
+                "miners": miners,
+                "txs": txs,
+                "shards": shards,
+                "confirmed": fast_confirmed,
+                "fast_s": round(fast_s, 4),
+                "digest_parity": profile_parity,
+                "trace_digest": fast_digest,
+                "workers": worker_rows,
+            }
+        )
+    best = max(
+        row[key]
+        for row in rows[-1]["workers"]
+        for key in row
+        if key.startswith("speedup_vs_fast")
+    )
+    return {
+        "quick": quick,
+        "seed": SEED,
+        "effective_cpus": effective,
+        "worker_sweep": worker_counts,
+        "profiles": rows,
+        f"speedup_shard_parallel_vs_fast{suffix}": best,
+        "digest_parity": parity,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller grid, single repetition (the CI smoke profile)",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "fail unless the broadcast-heavy profile reaches X× speedup; "
+            "ignored (with a notice) on hosts with < 4 effective CPUs"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_sweep(quick=args.quick)
+    path = write_bench_record("shard_parallel", payload)
+
+    print(
+        f"{'profile':>16} {'miners':>6} {'txs':>6} {'shards':>6} "
+        f"{'fast_s':>8} {'workers':>7} {'par_s':>8} {'speedup':>8}"
+    )
+    for row in payload["profiles"]:
+        for wrow in row["workers"]:
+            speedup = next(
+                wrow[k] for k in wrow if k.startswith("speedup_vs_fast")
+            )
+            print(
+                f"{row['profile']:>16} {row['miners']:>6} {row['txs']:>6} "
+                f"{row['shards']:>6} {row['fast_s']:>8.3f} "
+                f"{wrow['workers']:>7} {wrow['wall_s']:>8.3f} {speedup:>7.2f}x"
+            )
+    headline_key = next(
+        k for k in payload if k.startswith("speedup_shard_parallel_vs_fast")
+    )
+    print(
+        f"headline (broadcast-heavy, best workers): {payload[headline_key]:.2f}x "
+        f"[{headline_key}] | digest parity: {payload['digest_parity']} | "
+        f"effective_cpus: {payload['effective_cpus']} | wrote {path}"
+    )
+
+    if not payload["digest_parity"]:
+        print(
+            "FAIL: shard_parallel and fast engines produced different "
+            "trace digests"
+        )
+        return 1
+    if args.require_speedup is not None:
+        if payload["effective_cpus"] < 4:
+            print(
+                f"scaling floor {args.require_speedup}x not enforced: only "
+                f"{payload['effective_cpus']} effective CPU(s) (parity-only host)"
+            )
+        elif payload[headline_key] < args.require_speedup:
+            print(
+                f"FAIL: broadcast-heavy speedup {payload[headline_key]:.2f}x "
+                f"below required {args.require_speedup}x"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,12 @@ from typing import Callable
 from repro.experiments import run_experiment
 from repro.experiments.common import clear_experiment_caches
 from repro.observe.history import SCHEMA_VERSION, git_revision, utc_timestamp
-from repro.runtime import ProcessExecutor, SerialExecutor, use_executor
+from repro.runtime import (
+    ProcessExecutor,
+    SerialExecutor,
+    effective_cpu_count,
+    use_executor,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -34,12 +39,18 @@ BENCH_WORKERS = 2
 
 
 def bench_environment() -> dict[str, object]:
-    """The context a perf number is meaningless without."""
+    """The context a perf number is meaningless without.
+
+    ``cpu_count`` is what the machine has; ``effective_cpus`` is what
+    this process may actually use (cgroup/affinity limited — the number
+    that decides whether a parallel speedup is even possible).
+    """
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count() or 1,
+        "effective_cpus": effective_cpu_count(),
         "pid": os.getpid(),
     }
 
@@ -100,14 +111,23 @@ def measure_experiment_speedup(
         serial_s = timed(quick_run, repeats=repeats)
     with use_executor(ProcessExecutor(workers=BENCH_WORKERS)):
         parallel_s = timed(quick_run, repeats=repeats)
-    return {
+    record: dict[str, object] = {
         "experiment": experiment_id,
         "mode": "quick",
         "workers": BENCH_WORKERS,
         "wall_serial_s": round(serial_s, 6),
         "wall_parallel_s": round(parallel_s, 6),
-        "speedup_parallel_vs_serial": round(serial_s / parallel_s, 3),
     }
+    speedup = round(serial_s / parallel_s, 3)
+    if effective_cpu_count() == 1:
+        # A process pool on one effective core can only lose to serial
+        # execution: the "slowdown" is a property of the host, not the
+        # code. Record it under an informational key that the perf
+        # observatory reports but never treats as a regression baseline.
+        record["speedup_parallel_vs_serial_informational"] = speedup
+    else:
+        record["speedup_parallel_vs_serial"] = speedup
+    return record
 
 
 def reproduce(benchmark, experiment_id: str, seed: int = 0) -> None:

@@ -492,6 +492,17 @@ class FullNode(Node):
     def confirmed_tx_count(self) -> int:
         return len(self.ledger.confirmed_tx_ids())
 
+    def canonical_tip_blocks(self, count: int) -> list[Block]:
+        """The last ``count`` canonical blocks, genesis excluded.
+
+        Exactly the slice the retransmission sweep re-gossips; the
+        shard-parallel engine ships it in worker state reports so the
+        coordinator's sweep sees the same tip set the serial sweep reads
+        directly off the node.
+        """
+        tip = self.ledger.canonical_chain()[-count:]
+        return [block for block in tip if block.header.height != 0]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"FullNode({self.identity.name}, shard={self.shard_id}, "

@@ -46,6 +46,7 @@ from repro.observe.analysis import (
 )
 from repro.observe.export import (
     digest_of_jsonl,
+    merge_tagged_records,
     read_jsonl,
     render_trace_summary,
     trace_digest,
@@ -98,6 +99,7 @@ __all__ = [
     "get_tracer",
     "git_revision",
     "load_bench_records",
+    "merge_tagged_records",
     "read_jsonl",
     "render_check",
     "render_diff",

@@ -138,6 +138,11 @@ def load_bench_records(
 # tracked metrics
 # ----------------------------------------------------------------------
 def _is_tracked(key: str) -> bool:
+    # "informational" metrics (e.g. a parallel-vs-serial "speedup"
+    # measured on a single effective core) are context, not baselines:
+    # reported in summaries, never gated on.
+    if "informational" in key:
+        return False
     return "speedup" in key or key.endswith("_per_s")
 
 

@@ -41,6 +41,21 @@ _TASKS: tuple[Callable, Sequence] | None = None
 _IN_WORKER = False
 
 
+def effective_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine, not the cgroup/affinity
+    limit — inside a 1-CPU container on a 64-core host it says 64, and
+    worker pools sized from it thrash. The scheduler affinity mask is
+    the truthful bound where available (Linux); elsewhere fall back to
+    the machine count.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 class Executor(Protocol):
     """An ordered, deterministic ``map`` provider."""
 
@@ -127,7 +142,9 @@ class ProcessExecutor:
     Parameters
     ----------
     workers:
-        Pool size; defaults to the CPU count. A fresh pool is forked per
+        Pool size; defaults to the *effective* CPU count (the
+        scheduler-affinity mask, not the machine core count — see
+        :func:`effective_cpu_count`). A fresh pool is forked per
         ``map`` call so workers always see the caller's current memory
         (closures, module state) — fork on Linux is a few milliseconds,
         which the repetition-level task sizes amortize.
@@ -139,7 +156,7 @@ class ProcessExecutor:
     def __init__(self, workers: int | None = None, min_items: int = 2) -> None:
         if workers is not None and workers < 1:
             raise SimulationError("a process executor needs >= 1 worker")
-        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.workers = workers if workers is not None else effective_cpu_count()
         self.min_items = min_items
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
@@ -224,7 +241,7 @@ def executor_from_env() -> Executor:
         return SerialExecutor()
     if mode == "process":
         return ProcessExecutor(workers=workers)
-    available = workers if workers is not None else (os.cpu_count() or 1)
+    available = workers if workers is not None else effective_cpu_count()
     if available > 1 and fork_available():
         return ProcessExecutor(workers=available)
     return SerialExecutor()

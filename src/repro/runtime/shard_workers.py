@@ -1,0 +1,1493 @@
+"""The shard-parallel protocol engine: per-shard event loops with
+deterministic epoch barriers.
+
+The serial fast engine (:mod:`repro.sim.protocol`) runs one global event
+loop. But the paper's whole point is that sharding makes processing
+parallel *between* cross-shard synchronization points: a node only pools
+and confirms its own shard's transactions, blocks from other shards are
+"foreign" (observed, never recorded), and the only genuinely global
+actions are the coordinator-scale ones — workload injection, unification
+packet distribution, leader-timeout fallback, retransmission sweeps —
+plus the network itself (every block broadcast fans out to all nodes).
+
+This module exploits that structure as a conservative parallel
+discrete-event simulation:
+
+* each shard gets a :class:`ShardLoop` — its own
+  :class:`~repro.net.events.Scheduler`, its nodes, its miners'
+  :class:`~repro.consensus.pow.MiningProcess` streams, and a private
+  :class:`~repro.faults.model.FaultModel` clone for delivery-side
+  filtering;
+* the coordinator advances all loops in lock-step **windows**
+  ``[T1, B)`` where ``T1`` is the globally earliest pending event and
+  ``B = min(T1 + latency.base_seconds, next calendar event, horizon)``.
+  Because every message delivery takes at least ``base_seconds``, no
+  event fired inside a window can cause another event *inside the same
+  window on a different shard* — the classic conservative lookahead
+  bound — so loops can run their windows concurrently and in any order;
+* **sends are captured, not performed.** Workers never touch an RNG for
+  networking: a block broadcast is recorded as a :class:`SendIntent`.
+  At the window barrier the coordinator sorts all intents by
+  ``(sim_time, shard, ordinal, index)`` — global simulated-time order,
+  which is exactly the order the serial engine performed them — and
+  replays them through a **capture network**: a real
+  :class:`~repro.net.network.Network` seeded with ``config.seed`` whose
+  scheduler records deliveries instead of firing them. This consumes
+  the latency RNG and the send-side fault RNG in the serial engine's
+  exact draw order (the ``LatencyModel.sample_many`` contract), then
+  routes each delivery to its recipient's shard loop;
+* **the stop condition is reconstructed from journals.** Each loop
+  journals, per fired event, the per-shard confirmed-union delta and
+  its local "done" (target covered) transitions. Shard disjointness
+  makes the serial stop condition equal to "every shard locally done",
+  so the coordinator merges the transition timelines in time order and
+  finds the first instant ``T*`` at which all shards are simultaneously
+  done — the exact event the serial engine stopped on. Workers always
+  run their full window (no pause protocol): events past ``T*`` can
+  only occur in the final window, and everything derived from them —
+  trace records, journal entries, captured intents — is filtered out by
+  the cutoff ``(T*, shard*, ordinal*)`` before the result is assembled,
+  while their RNG cost is zero because networking randomness only
+  happens at coordinator replay time (post-stop intents are discarded
+  unreplayed);
+* **trace records carry total-order tags.** Every record is emitted
+  into a :class:`TaggedTracer` under a context tag
+  ``(time, lane, a, b, i)`` (lane 0 = coordinator/directives, lane 1 =
+  worker events; ``a``/``b`` are a monotone coordinator rank or the
+  ``(shard, ordinal)`` pair; ``i`` orders emissions within a context,
+  with intent-replay fault records slotted at ``mark - 0.5`` so they
+  land between a mine event's ``block.forged`` and its post-event
+  ``tx.confirmed`` probe records, exactly where the serial engine put
+  them). :func:`repro.observe.merge_tagged_records` then merges all
+  segments into the serial record stream, seq-renumbered — same seed ⇒
+  bit-identical trace digest to the serial fast engine, which
+  ``tests/sim/test_shard_parallel.py`` pins against every recorded
+  ``seed_digests.json`` baseline.
+
+Determinism limits (documented, enforced or measure-zero):
+
+* ties between *worker* events on different shards at the exact same
+  float time are resolved by shard id rather than the serial heap's
+  insertion order. With ``jitter_seconds > 0`` (all recorded baselines)
+  identical cross-shard event times have measure zero; zero-jitter
+  *and* zero-base configurations fall back to the serial fast path in
+  :meth:`ProtocolSimulation._run` because the lookahead bound would be
+  empty;
+* live node objects may have executed a few events past ``T*`` (at
+  most one lookahead window). Result fields, rewards and trace digests
+  are cutoff-filtered and bit-identical; code that pokes node ledgers
+  *after* the run (e.g. scenario detectors) can observe that overrun.
+  Metrics counters (never part of digests) share the same caveat;
+* the fork backend (``shard_workers > 1``) inherits node state by
+  forking once per run. It is only used when nothing outside the engine
+  shares mutable state across shards: runs with explicit ``behaviors``
+  (adversary objects may be shared) or externally pre-scheduled events
+  (scenario probes read global state) run the in-process backend.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import heapq
+import math
+import os
+from collections import defaultdict
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.faults.model import FaultModel
+from repro.faults.plan import FaultStats
+from repro.net.events import Scheduler
+from repro.net.messages import Message, MessageKind
+from repro.net.network import Network
+from repro.observe import Tracer, merge_tagged_records, use_tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import FullNode
+    from repro.sim.protocol import ProtocolResult, ProtocolSimulation
+
+#: Tag lanes: coordinator records and directive-scoped records sort in
+#: lane 0, worker event records in lane 1. Only relevant for exact time
+#: ties, which (apart from t=0, where no worker events exist yet) have
+#: measure zero under jittered latency.
+_LANE_COORD = 0
+_LANE_WORKER = 1
+
+#: Offsets that slot intent-replay fault records between a worker
+#: event's own records and its post-event probe records: an intent
+#: captured at emission mark ``m`` replays at ``m - 0.5 + k * _K_STEP``
+#: and each of its records advances by ``_J_STEP``.
+_K_STEP = 1e-6
+_J_STEP = 1e-9
+
+
+def fork_available() -> bool:
+    """Whether the fork-based worker backend can run on this platform."""
+    return hasattr(os, "fork")
+
+
+# ----------------------------------------------------------------------
+# tagged tracing
+# ----------------------------------------------------------------------
+class TaggedTracer(Tracer):
+    """A :class:`Tracer` that tags every record with a total-order key.
+
+    The shard-parallel engine's workers and coordinator each emit into
+    their own ``TaggedTracer``; the tag ``(time, lane, a, b, i)`` is a
+    pure sort key (it never alters record content) that reconstructs
+    the serial engine's emission order when all segments are merged by
+    :func:`repro.observe.merge_tagged_records`.
+    """
+
+    def __init__(self, lineage: bool = False) -> None:
+        super().__init__(lineage=lineage)
+        self.tagged: list[tuple[tuple, object]] = []
+        self._tag_time = 0.0
+        self._tag_lane = _LANE_COORD
+        self._tag_a = 0
+        self._tag_b: float = 0
+        self._tag_base = 0.0
+        self._tag_step = 1.0
+        self._tag_i = 0
+
+    def set_context(
+        self,
+        time: float,
+        lane: int,
+        a: int,
+        b: float,
+        base: float = 0.0,
+        step: float = 1.0,
+    ) -> None:
+        """Start a new emission context; resets the within-context index."""
+        self._tag_time = time
+        self._tag_lane = lane
+        self._tag_a = a
+        self._tag_b = b
+        self._tag_base = base
+        self._tag_step = step
+        self._tag_i = 0
+
+    @property
+    def emission_mark(self) -> int:
+        """How many records the current context has emitted so far."""
+        return self._tag_i
+
+    def event(self, name: str, **kwargs):  # type: ignore[override]
+        record = super().event(name, **kwargs)
+        tag = (
+            self._tag_time,
+            self._tag_lane,
+            self._tag_a,
+            self._tag_b,
+            self._tag_base + self._tag_step * self._tag_i,
+        )
+        self._tag_i += 1
+        self.tagged.append((tag, record))
+        return record
+
+
+# ----------------------------------------------------------------------
+# captured sends and per-window reports
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class SendIntent:
+    """One network send a worker captured instead of performing.
+
+    Replayed by the coordinator at the window barrier in global
+    simulated-time order ``(time, shard, ordinal, index)`` so the
+    latency and fault RNG streams are consumed exactly as the serial
+    engine consumed them.
+    """
+
+    time: float
+    shard: int
+    ordinal: int
+    index: int  # per-event intent counter
+    mark: int  # worker trace-emission count when captured (tag anchor)
+    mode: str  # "broadcast" | "multicast" | "send"
+    kind: MessageKind
+    sender: str
+    payload: object
+    shard_id: int | None
+    recipients: tuple[str, ...] | None
+
+
+@dataclasses.dataclass
+class WindowReport:
+    """Everything one shard loop produced since its previous report."""
+
+    shard: int
+    next_time: float | None
+    done: bool
+    intents: list[SendIntent]
+    transitions: list[tuple]  # (time, ordinal, done)
+    confirms: list[tuple]  # (time, ordinal, added, removed, counts)
+    stats_entries: list[tuple]  # see ShardLoop._post_event
+    mines: list[tuple]  # (time, ordinal, block)
+    tagged: list[tuple]  # (tag, TraceRecord) pairs
+
+
+@dataclasses.dataclass
+class LoopFinal:
+    """End-of-run worker state the coordinator folds into the result."""
+
+    shard: int
+    report: WindowReport
+    events_fired: int
+    compactions: int
+    metrics: object | None
+    network_counters: tuple
+
+
+# ----------------------------------------------------------------------
+# the per-shard worker
+# ----------------------------------------------------------------------
+class _ShardNetwork(Network):
+    """A worker's network: real deliveries in, captured sends out.
+
+    Inherits ``_deliver`` (delivery-side fault filtering + traffic
+    accounting) unchanged; every *outgoing* send is recorded as a
+    :class:`SendIntent` for the coordinator to replay, so workers never
+    consume latency or fault randomness.
+    """
+
+    def __init__(self, scheduler, latency, faults, loop: "ShardLoop") -> None:
+        super().__init__(scheduler, latency=latency, seed=0, faults=faults)
+        self._loop = loop
+
+    def broadcast(self, message_kind, sender, payload, shard_id=None):  # type: ignore[override]
+        self._loop.capture_send("broadcast", message_kind, sender, payload, shard_id, None)
+        return 0
+
+    def multicast(self, message_kind, sender, payload, recipients, shard_id=None):  # type: ignore[override]
+        self._loop.capture_send(
+            "multicast", message_kind, sender, payload, shard_id, tuple(recipients)
+        )
+        return 0
+
+    def send(self, message):  # type: ignore[override]
+        self._loop.capture_send(
+            "send", message.kind, message.sender, message.payload,
+            message.shard_id, (message.recipient,),
+        )
+        return True
+
+
+class ShardLoop:
+    """One shard's event loop, nodes, mining streams, and journals."""
+
+    def __init__(
+        self,
+        shard: int,
+        nodes: "list[FullNode]",
+        sim: "ProtocolSimulation",
+        target: set[str],
+        global_node_ids: list[str],
+        traced: bool,
+    ) -> None:
+        from repro.sim.protocol import _FAULT_SEED_SALT
+
+        self.shard = shard
+        self.nodes = nodes
+        self._node_map = {node.node_id: node for node in nodes}
+        config = sim._config
+        self.config = config
+        self.tracer = (
+            TaggedTracer(lineage=sim._lineage) if traced else None
+        )
+        plan = config.fault_plan
+        self.faults = (
+            FaultModel(plan, seed=config.seed ^ _FAULT_SEED_SALT, tracer=self.tracer)
+            if plan is not None
+            else None
+        )
+        self.scheduler = Scheduler()
+        self.network = _ShardNetwork(
+            self.scheduler, latency=config.latency, faults=self.faults, loop=self
+        )
+        for node in nodes:
+            self.network.register(node)
+        self._global_node_ids = global_node_ids
+        self._mining = {node.node_id: sim._mining[node.node_id] for node in nodes}
+        self._distribute_packet = sim._distribute_packet
+        self._packet = sim._packet
+        self._transactions = sim._transactions
+        self._tx_index = sim._tx_index
+        self._lineage = sim._lineage
+        self.target = target
+
+        # Lineage hooks: replace the serial engine's (which point at the
+        # main tracer and scheduler) with worker-local equivalents. A
+        # node only pools its own shard's transactions, so worker-local
+        # first-seen tracking equals the serial global first-seen.
+        if self._lineage and self.tracer is not None:
+            for node in nodes:
+                node.on_pooled = self._note_pooled
+                node.on_rejected = self._note_rejected
+        self._seen_txs: set[int] = set()
+
+        # Rolling confirmation state (mirrors the serial stop-condition
+        # cache and lineage probe, restricted to this shard).
+        self._stamp = sum(node.ledger.version for node in nodes)
+        self._union: set[str] = set()
+        self._known: set[str] = set()
+        self.done = self._union >= target
+        self.ordinal = 0
+        self._crash_drops_seen = 0
+
+        # Per-report buffers (drained into WindowReport).
+        self._intents: list[SendIntent] = []
+        self._transitions: list[tuple] = []
+        self._confirms: list[tuple] = []
+        self._stats_entries: list[tuple] = []
+        self._mines: list[tuple] = []
+        self._tagged_mark = 0
+
+        # Current-event capture coordinates.
+        self._event_time = 0.0
+        self._event_ordinal = 0
+        self._intent_index = 0
+
+    # -- tracer scope ---------------------------------------------------
+    def _scope(self):
+        if self.tracer is None:
+            return contextlib.nullcontext()
+        return use_tracer(self.tracer)
+
+    # -- lineage hooks --------------------------------------------------
+    def _note_pooled(self, node, tx) -> None:
+        idx = self._tx_index.get(tx.tx_id)
+        if idx is None or idx in self._seen_txs:
+            return
+        self._seen_txs.add(idx)
+        self.tracer.event(
+            "tx.seen",
+            time=self.scheduler.now,
+            phase="gossip",
+            shard=node.shard_id,
+            actor=node.node_id,
+            tx=idx,
+        )
+
+    def _note_rejected(self, node, block, reason: str) -> None:
+        self.tracer.event(
+            "block.rejected",
+            time=self.scheduler.now,
+            phase="verify",
+            shard=node.shard_id,
+            actor=node.node_id,
+            miner=block.header.miner,
+            height=block.header.height,
+        )
+
+    # -- send capture ---------------------------------------------------
+    def capture_send(self, mode, kind, sender, payload, shard_id, recipients) -> None:
+        self._intents.append(
+            SendIntent(
+                time=self._event_time,
+                shard=self.shard,
+                ordinal=self._event_ordinal,
+                index=self._intent_index,
+                mark=self.tracer.emission_mark if self.tracer is not None else 0,
+                mode=mode,
+                kind=kind,
+                sender=sender,
+                payload=payload,
+                shard_id=shard_id,
+                recipients=recipients,
+            )
+        )
+        self._intent_index += 1
+
+    # -- event execution ------------------------------------------------
+    def schedule_initial(self) -> None:
+        """Draw each local miner's first block time (per-miner streams)."""
+        for public in self._node_map:
+            self._schedule_mining(public)
+
+    def _schedule_mining(self, public: str) -> None:
+        delay = self._mining[public].next_block_time()
+        self.scheduler.schedule_in(delay, self._mine, public)
+
+    def _deliver_event(self, node_id: str, message: Message) -> None:
+        self.network.deliver(self._node_map[node_id], message)
+
+    def _mine(self, public: str) -> None:
+        node = self._node_map[public]
+        if self.faults is not None and self.faults.crashed(public, self.scheduler.now):
+            self._schedule_mining(public)
+            return
+        if self._distribute_packet and not (
+            node.has_unified_replay or node.stats.leader_fallbacks > 0
+        ):
+            self._schedule_mining(public)
+            return
+        block = node.forge_block(
+            timestamp=self.scheduler.now, capacity=self.config.block_capacity
+        )
+        node.behavior.observe_forged(block)
+        node.adopt_block(block)
+        # Rewards are credited by the coordinator from this journal (the
+        # cutoff filter must be able to drop post-stop blocks).
+        self._mines.append((self.scheduler.now, self._event_ordinal, block))
+        if self.tracer is not None:
+            tx_count = len(block.transactions)
+            attrs: dict = {}
+            if self._lineage:
+                attrs["tx_idx"] = [
+                    self._tx_index[tx.tx_id]
+                    for tx in block.transactions
+                    if tx.tx_id in self._tx_index
+                ]
+            self.tracer.event(
+                "block.forged",
+                time=self.scheduler.now,
+                phase="mine",
+                shard=node.shard_id,
+                actor=public,
+                height=block.header.height,
+                txs=tx_count,
+                empty=tx_count == 0,
+                confirmed_in_shard=len(node.ledger.confirmed_tx_ids()),
+                **attrs,
+            )
+            self.tracer.metrics.counter("protocol.blocks_forged").inc()
+            if tx_count == 0:
+                self.tracer.metrics.counter("protocol.blocks_empty").inc()
+            self.tracer.metrics.histogram("protocol.block_txs").observe(tx_count)
+        targets = node.behavior.broadcast_targets(self._global_node_ids)
+        if targets is None:
+            self.network.broadcast(
+                MessageKind.BLOCK, sender=public, payload=block, shard_id=None
+            )
+        else:
+            self.network.multicast(
+                MessageKind.BLOCK,
+                sender=public,
+                payload=block,
+                recipients=targets,
+                shard_id=None,
+            )
+        self._schedule_mining(public)
+
+    def _post_event(self, time: float, ordinal: int, node) -> None:
+        """Mirror the serial per-event probe: confirmation deltas, done
+        transitions, lineage emissions, and per-node stats deltas."""
+        stamp = 0
+        for n in self.nodes:
+            stamp += n.ledger.version
+        if stamp != self._stamp:
+            self._stamp = stamp
+            union: set[str] = set()
+            counts: dict[str, int] = {}
+            for n in self.nodes:
+                ids = n.ledger.confirmed_tx_ids()
+                union |= ids
+                counts[n.node_id] = len(ids)
+            added = union - self._union
+            removed = self._union - union
+            self._confirms.append(
+                (time, ordinal, frozenset(added), frozenset(removed), counts)
+            )
+            if self._lineage and self.tracer is not None:
+                fresh = sorted(
+                    self._tx_index[tx_id]
+                    for tx_id in union - self._known
+                    if tx_id in self._tx_index
+                )
+                for idx in fresh:
+                    self.tracer.event(
+                        "tx.confirmed",
+                        time=time,
+                        phase="confirm",
+                        shard=self.shard,
+                        tx=idx,
+                    )
+                gone = sorted(
+                    self._tx_index[tx_id]
+                    for tx_id in removed
+                    if tx_id in self._tx_index
+                )
+                for idx in gone:
+                    self.tracer.event(
+                        "tx.reverted", time=time, phase="confirm", tx=idx
+                    )
+            self._known |= union
+            done = union >= self.target
+            if done != self.done:
+                self.done = done
+                self._transitions.append((time, ordinal, done))
+            self._union = union
+        self._journal_stats(time, ordinal, node, directive=False)
+
+    def _journal_stats(self, time, ordinal, node, directive: bool) -> None:
+        pre = self._stats_pre
+        stats = node.stats
+        d_rej = stats.blocks_rejected - pre[0]
+        reasons = tuple(stats.rejection_reasons[pre[1]:])
+        d_pkt = stats.packets_rejected - pre[2]
+        d_fb = stats.leader_fallbacks - pre[3]
+        d_crash = 0
+        if self.faults is not None:
+            d_crash = self.faults.stats.crash_drops - self._crash_drops_seen
+            self._crash_drops_seen = self.faults.stats.crash_drops
+        if d_rej or reasons or d_pkt or d_fb or d_crash:
+            self._stats_entries.append(
+                (time, ordinal, node.node_id, d_rej, reasons, d_pkt, d_fb,
+                 d_crash, directive)
+            )
+
+    def _snap_stats(self, node) -> None:
+        stats = node.stats
+        self._stats_pre = (
+            stats.blocks_rejected,
+            len(stats.rejection_reasons),
+            stats.packets_rejected,
+            stats.leader_fallbacks,
+        )
+
+    def run_window(self, bound: float, deliveries: Iterable[tuple]) -> WindowReport:
+        """Fire every local event with ``time < bound``; journal effects."""
+        for time, node_id, message in deliveries:
+            self.scheduler.schedule_at(time, self._deliver_event, node_id, message)
+        with self._scope():
+            while True:
+                event = self.scheduler.advance_due(bound)
+                if event is None:
+                    break
+                ordinal = self.ordinal
+                self.ordinal += 1
+                node = self._node_map[event.args[0]]
+                self._snap_stats(node)
+                if self.tracer is not None:
+                    self.tracer.set_context(
+                        event.time, _LANE_WORKER, self.shard, ordinal
+                    )
+                self._event_time = event.time
+                self._event_ordinal = ordinal
+                self._intent_index = 0
+                event.fire()
+                self._post_event(event.time, ordinal, node)
+        return self.drain_report()
+
+    def drain_report(self) -> WindowReport:
+        report = WindowReport(
+            shard=self.shard,
+            next_time=self.scheduler.next_time,
+            done=self.done,
+            intents=self._intents,
+            transitions=self._transitions,
+            confirms=self._confirms,
+            stats_entries=self._stats_entries,
+            mines=self._mines,
+            tagged=(
+                self.tracer.tagged[self._tagged_mark:]
+                if self.tracer is not None
+                else []
+            ),
+        )
+        self._intents = []
+        self._transitions = []
+        self._confirms = []
+        self._stats_entries = []
+        self._mines = []
+        if self.tracer is not None:
+            self._tagged_mark = len(self.tracer.tagged)
+        return report
+
+    # -- directives (coordinator-synchronous, between windows) ----------
+    def inject_clean(self, rank: int) -> None:
+        """Fault-free workload hand-off: every node observes every tx."""
+        with self._scope():
+            for tx_idx, tx in enumerate(self._transactions):
+                if self.tracer is not None:
+                    self.tracer.set_context(0.0, _LANE_COORD, rank, tx_idx)
+                for node in self.nodes:
+                    node.on_transaction(tx)
+
+    def install_packet(self, rank: int, time: float) -> None:
+        """The leader (who lives in this shard) installs the canonical
+        packet; selection replay records emit under the directive tag."""
+        leader = self._packet.leader_public
+        node = self._node_map[leader]
+        self._snap_stats(node)
+        with self._scope():
+            if self.tracer is not None:
+                self.tracer.set_context(time, _LANE_COORD, rank, 1)
+            node.on_unification_packet(self._packet)
+        self._journal_stats(time, self.ordinal, node, directive=True)
+
+    def fallback_check(self, time: float) -> int:
+        """Leader-timeout fallback for this shard's nodes; returns count."""
+        fallbacks = 0
+        with self._scope():
+            for node in self.nodes:
+                self._snap_stats(node)
+                if node.fallback_to_solo():
+                    fallbacks += 1
+                self._journal_stats(time, self.ordinal, node, directive=True)
+        return fallbacks
+
+    def sweep_state(self) -> tuple:
+        """State the retransmission sweep reads (exact between windows)."""
+        tips = {
+            node.node_id: node.canonical_tip_blocks(self.config.retransmit_blocks)
+            for node in self.nodes
+        }
+        flags = {
+            node.node_id: (node.has_unified_replay, node.stats.leader_fallbacks > 0)
+            for node in self.nodes
+        }
+        return set(self._union), tips, flags
+
+    def finish(self) -> LoopFinal:
+        net = self.network
+        return LoopFinal(
+            shard=self.shard,
+            report=self.drain_report(),
+            events_fired=self.scheduler.events_fired,
+            compactions=self.scheduler.compactions,
+            metrics=self.tracer.metrics if self.tracer is not None else None,
+            network_counters=(
+                net.messages_delivered,
+                net.cross_shard_messages,
+                dict(net.per_shard_messages),
+                dict(net.per_kind_messages),
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# worker drivers: in-process and forked
+# ----------------------------------------------------------------------
+class InlineDriver:
+    """All shard loops in this process; the single-worker fallback and
+    the only backend safe when state is shared across shards."""
+
+    name = "inline"
+
+    def __init__(self, loops: dict[int, ShardLoop], order: Sequence[int] | None = None):
+        self._loops = loops
+        self._order = list(order) if order is not None else sorted(loops)
+
+    def schedule_initial(self) -> dict[int, float | None]:
+        for shard in self._order:
+            self._loops[shard].schedule_initial()
+        return {s: loop.scheduler.next_time for s, loop in self._loops.items()}
+
+    def inject_clean(self, rank: int) -> None:
+        for shard in self._order:
+            self._loops[shard].inject_clean(rank)
+
+    def run_windows(
+        self, bound: float, deliveries: dict[int, list], due: set[int]
+    ) -> dict[int, WindowReport]:
+        return {
+            shard: self._loops[shard].run_window(bound, deliveries.get(shard, ()))
+            for shard in self._order
+            if shard in due
+        }
+
+    def install_packet(self, shard: int, rank: int, time: float) -> None:
+        self._loops[shard].install_packet(rank, time)
+
+    def fallback_check(self, time: float) -> int:
+        return sum(self._loops[s].fallback_check(time) for s in sorted(self._loops))
+
+    def sweep_states(self) -> dict[int, tuple]:
+        return {s: loop.sweep_state() for s, loop in self._loops.items()}
+
+    def finish(self) -> list[LoopFinal]:
+        return [self._loops[s].finish() for s in sorted(self._loops)]
+
+    def close(self) -> None:
+        pass
+
+
+def _serve_shards(conn, loops: dict[int, ShardLoop]) -> None:
+    """Fork-child request loop: execute ops on the shards this worker owns."""
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "stop":
+                break
+            try:
+                if op == "initial":
+                    for loop in loops.values():
+                        loop.schedule_initial()
+                    result = {
+                        s: loop.scheduler.next_time for s, loop in loops.items()
+                    }
+                elif op == "inject":
+                    for shard in sorted(loops):
+                        loops[shard].inject_clean(msg[1])
+                    result = None
+                elif op == "window":
+                    __, bound, deliveries, due = msg
+                    result = {
+                        s: loops[s].run_window(bound, deliveries.get(s, ()))
+                        for s in sorted(loops)
+                        if s in due
+                    }
+                elif op == "install":
+                    loops[msg[1]].install_packet(msg[2], msg[3])
+                    result = None
+                elif op == "fallback":
+                    result = sum(
+                        loops[s].fallback_check(msg[1]) for s in sorted(loops)
+                    )
+                elif op == "sweep_state":
+                    result = {s: loop.sweep_state() for s, loop in loops.items()}
+                elif op == "finish":
+                    result = [loops[s].finish() for s in sorted(loops)]
+                else:  # pragma: no cover - protocol guard
+                    raise RuntimeError(f"unknown shard-worker op {op!r}")
+                conn.send(("ok", result))
+            except BaseException as exc:  # pragma: no cover - worker crash path
+                import traceback
+
+                conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+    finally:
+        conn.close()
+
+
+class ForkDriver:
+    """Shard loops partitioned over forked worker processes.
+
+    Forked *after* the simulation is built, so children inherit node
+    state by copy-on-write; all post-fork coordination flows through the
+    barrier protocol (window bounds + delivery batches down, journals +
+    tagged records up), which keeps children exact replicas of what the
+    inline backend would have computed shard-locally.
+    """
+
+    name = "fork"
+
+    def __init__(self, loops: dict[int, ShardLoop], workers: int) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        shards = sorted(loops)
+        workers = max(1, min(workers, len(shards)))
+        self._owners: dict[int, int] = {
+            shard: i % workers for i, shard in enumerate(shards)
+        }
+        self._conns = []
+        self._procs = []
+        for worker in range(workers):
+            owned = {s: loops[s] for s in shards if self._owners[s] == worker}
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_serve_shards, args=(child, owned), daemon=True
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    def _call_all(self, msg) -> list:
+        for conn in self._conns:
+            conn.send(msg)
+        return [self._recv(conn) for conn in self._conns]
+
+    def _call_one(self, worker: int, msg):
+        self._conns[worker].send(msg)
+        return self._recv(self._conns[worker])
+
+    @staticmethod
+    def _recv(conn):
+        status, payload = conn.recv()
+        if status != "ok":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def schedule_initial(self) -> dict[int, float | None]:
+        merged: dict[int, float | None] = {}
+        for part in self._call_all(("initial",)):
+            merged.update(part)
+        return merged
+
+    def inject_clean(self, rank: int) -> None:
+        self._call_all(("inject", rank))
+
+    def run_windows(
+        self, bound: float, deliveries: dict[int, list], due: set[int]
+    ) -> dict[int, WindowReport]:
+        workers = sorted(
+            {self._owners[s] for s in due}
+        )
+        for worker in workers:
+            owned_deliveries = {
+                s: batch
+                for s, batch in deliveries.items()
+                if self._owners[s] == worker
+            }
+            self._conns[worker].send(("window", bound, owned_deliveries, due))
+        merged: dict[int, WindowReport] = {}
+        for worker in workers:
+            merged.update(self._recv(self._conns[worker]))
+        return merged
+
+    def install_packet(self, shard: int, rank: int, time: float) -> None:
+        self._call_one(self._owners[shard], ("install", shard, rank, time))
+
+    def fallback_check(self, time: float) -> int:
+        return sum(self._call_all(("fallback", time)))
+
+    def sweep_states(self) -> dict[int, tuple]:
+        merged: dict[int, tuple] = {}
+        for part in self._call_all(("sweep_state",)):
+            merged.update(part)
+        return merged
+
+    def finish(self) -> list[LoopFinal]:
+        finals: list[LoopFinal] = []
+        for part in self._call_all(("finish",)):
+            finals.extend(part)
+        finals.sort(key=lambda final: final.shard)
+        return finals
+
+    def close(self) -> None:
+        for conn in self._conns:
+            with contextlib.suppress(OSError, BrokenPipeError):
+                conn.send(("stop",))
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - cleanup path
+                proc.terminate()
+
+
+# ----------------------------------------------------------------------
+# the capture network (coordinator-side send replay)
+# ----------------------------------------------------------------------
+class _CaptureScheduler:
+    """Duck-typed scheduler that records deliveries instead of firing."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.captured: list[tuple[float, str, Message]] = []
+
+    def schedule_in(self, delay: float, callback, *args) -> None:
+        target, message = args
+        self.captured.append((self.now + delay, target.node_id, message))
+
+
+class _StubNode:
+    __slots__ = ("node_id",)
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+class _ShardParallelRun:
+    """One shard-parallel execution over a built ProtocolSimulation."""
+
+    def __init__(
+        self,
+        sim: "ProtocolSimulation",
+        window_order: Sequence[int] | None = None,
+    ) -> None:
+        from repro.sim.protocol import _FAULT_SEED_SALT
+
+        self.sim = sim
+        self.config = sim._config
+        self.traced = sim._tracer is not None
+
+        by_shard: dict[int, list] = {}
+        for node in sim._nodes.values():
+            by_shard.setdefault(node.shard_id, []).append(node)
+        self.shard_ids = sorted(by_shard)
+        self.shard_of = {
+            node.node_id: node.shard_id for node in sim._nodes.values()
+        }
+        global_node_ids = list(sim._network.node_ids)
+
+        classifier = sim._classifier()
+        targets: dict[int, set[str]] = {shard: set() for shard in self.shard_ids}
+        for tx in sim._transactions:
+            shard = classifier(tx)
+            if shard in targets:
+                targets[shard].add(tx.tx_id)
+
+        # Coordinator-side tracing, send-side fault model and capture
+        # network: seeded exactly like the serial engine's network, with
+        # stub nodes registered in the serial registration order so the
+        # broadcast fan-out (and its RNG draw order) is identical.
+        self.tracer = TaggedTracer(lineage=sim._lineage) if self.traced else None
+        self._rank = 0
+        plan = self.config.fault_plan
+        self.fault_model = (
+            FaultModel(
+                plan, seed=self.config.seed ^ _FAULT_SEED_SALT, tracer=self.tracer
+            )
+            if plan is not None
+            else None
+        )
+        self._capture_clock = _CaptureScheduler()
+        self._capture_net = Network(
+            self._capture_clock,
+            latency=self.config.latency,
+            seed=self.config.seed,
+            faults=self.fault_model,
+        )
+        for node_id in global_node_ids:
+            self._capture_net.register(_StubNode(node_id))
+
+        self.loops = {
+            shard: ShardLoop(
+                shard,
+                by_shard[shard],
+                sim,
+                targets[shard],
+                global_node_ids,
+                self.traced,
+            )
+            for shard in self.shard_ids
+        }
+
+        # Externally pre-scheduled events (scenario probes) move onto
+        # the coordinator calendar; they read cross-shard state, so
+        # their presence — like explicit behaviors, whose objects may be
+        # shared across shards — forces the in-process backend.
+        self._externals = sim._scheduler.drain_pending()
+        workers = self.config.shard_workers
+        want_fork = (
+            workers is not None
+            and workers > 1
+            and fork_available()
+            and not self._externals
+            and not sim._behaviors
+        )
+        if want_fork:
+            self.driver: InlineDriver | ForkDriver = ForkDriver(self.loops, workers)
+        else:
+            self.driver = InlineDriver(self.loops, order=window_order)
+        self.workers = workers if want_fork else 1
+
+        # The coordinator calendar: externally scheduled probes, leader
+        # packet distribution/timeout, retransmission sweeps — the
+        # events the serial engine ran on its global scheduler from
+        # coordinator code. Seq preserves the serial scheduling order
+        # for exact-time ties.
+        self._calendar: list[tuple] = []
+        self._calendar_seq = 0
+        self._calendar_fired = 0
+        for time, callback, args in self._externals:
+            self._push_calendar(time, "external", (callback, args))
+        if sim._distribute_packet:
+            self._push_calendar(self.config.leader_broadcast_delay, "packet", None)
+            self._push_calendar(self.config.leader_timeout, "timeout", None)
+        if sim._faults_active and self.config.retransmit_interval is not None:
+            self._push_calendar(self.config.retransmit_interval, "sweep", None)
+
+        self._pending: dict[int, list] = defaultdict(list)
+        self._next_times: dict[int, float | None] = {}
+        self._done: dict[int, bool] = {
+            shard: self.loops[shard].done for shard in self.shard_ids
+        }
+
+        # Accumulated journals/segments (coordinator-side copies; the
+        # fork backend ships them in window reports).
+        self._confirms: dict[int, list] = {shard: [] for shard in self.shard_ids}
+        self._stats_entries: dict[int, list] = {s: [] for s in self.shard_ids}
+        self._mines: dict[int, list] = {shard: [] for shard in self.shard_ids}
+        self._segments: dict[int, list] = {shard: [] for shard in self.shard_ids}
+
+    # -- small helpers --------------------------------------------------
+    def _push_calendar(self, time: float, kind: str, payload) -> None:
+        heapq.heappush(self._calendar, (time, self._calendar_seq, kind, payload))
+        self._calendar_seq += 1
+
+    def _next_rank(self) -> int:
+        rank = self._rank
+        self._rank += 1
+        return rank
+
+    def _emit(self, name: str, *, time: float, **kwargs):
+        """One coordinator record under a fresh lane-0 rank."""
+        self.tracer.set_context(time, _LANE_COORD, self._next_rank(), 0)
+        return self.tracer.event(name, time=time, **kwargs)
+
+    def _route(self, deliveries: Iterable[tuple]) -> None:
+        for time, node_id, message in deliveries:
+            self._pending[self.shard_of[node_id]].append((time, node_id, message))
+
+    def _drain_captured(self) -> list:
+        captured = self._capture_clock.captured
+        self._capture_clock.captured = []
+        return captured
+
+    # -- injection ------------------------------------------------------
+    def _inject(self) -> None:
+        sim = self.sim
+        if self.traced:
+            self._emit(
+                "workload.inject",
+                time=0.0,
+                phase="inject",
+                txs=len(sim._transactions),
+                miners=len(sim._miners),
+                faults_active=sim._faults_active,
+                unified=sim._unified,
+            )
+        if sim._faults_active:
+            # Serial path: each tx is announced by its (off-network)
+            # user through the lossy network. Replay centrally so the
+            # latency/fault draws happen in workload order.
+            if self.traced:
+                self.tracer.set_context(0.0, _LANE_COORD, self._next_rank(), 0)
+            self._capture_clock.now = 0.0
+            for tx in sim._transactions:
+                self._capture_net.broadcast(
+                    MessageKind.TX, sender=f"user:{tx.sender}", payload=tx
+                )
+            self._route(self._drain_captured())
+        else:
+            self.driver.inject_clean(self._next_rank())
+
+    # -- intent replay --------------------------------------------------
+    def _replay_intents(self, intents: list[SendIntent], cutoff=None) -> None:
+        """Replay captured sends in global sim-time order through the
+        capture network (consuming the serial RNG streams), routing the
+        resulting deliveries — unless a stop cutoff discards them."""
+        intents.sort(key=lambda i: (i.time, i.shard, i.ordinal, i.index))
+        tracer = self.tracer
+        for intent in intents:
+            if cutoff is not None and not _admits(cutoff, intent.time, intent.shard, intent.ordinal):
+                continue
+            self._capture_clock.now = intent.time
+            if tracer is not None:
+                tracer.set_context(
+                    intent.time,
+                    _LANE_WORKER,
+                    intent.shard,
+                    intent.ordinal,
+                    base=intent.mark - 0.5 + intent.index * _K_STEP,
+                    step=_J_STEP,
+                )
+            if intent.mode == "broadcast":
+                self._capture_net.broadcast(
+                    intent.kind, intent.sender, intent.payload, intent.shard_id
+                )
+            elif intent.mode == "multicast":
+                self._capture_net.multicast(
+                    intent.kind,
+                    intent.sender,
+                    intent.payload,
+                    recipients=list(intent.recipients),
+                    shard_id=intent.shard_id,
+                )
+            else:
+                self._capture_net.send(
+                    Message(
+                        kind=intent.kind,
+                        sender=intent.sender,
+                        recipient=intent.recipients[0],
+                        payload=intent.payload,
+                        shard_id=intent.shard_id,
+                    )
+                )
+            captured = self._drain_captured()
+            if cutoff is None:
+                self._route(captured)
+
+    # -- calendar events ------------------------------------------------
+    def _run_calendar_event(self, time: float, kind: str, payload) -> None:
+        self._calendar_fired += 1
+        if kind == "external":
+            callback, args = payload
+            callback(*args)
+        elif kind == "packet":
+            self._broadcast_packet(time)
+        elif kind == "timeout":
+            self._leader_timeout_check(time)
+        elif kind == "sweep":
+            self._retransmit_sweep(time)
+
+    def _broadcast_packet(self, time: float) -> None:
+        sim = self.sim
+        leader = sim._assignment.leader_public
+        fault = self.config.fault_plan.leader if self.config.fault_plan else None
+        if fault is not None and fault.withholds:
+            if self.traced:
+                self._emit(
+                    "leader.withhold", time=time, phase="leader", actor=leader
+                )
+            return
+        rank = self._next_rank()
+        if self.traced:
+            self.tracer.set_context(time, _LANE_COORD, rank, 0)
+            self.tracer.event(
+                "leader.equivocate"
+                if fault is not None and fault.equivocates
+                else "leader.broadcast",
+                time=time,
+                phase="leader",
+                actor=leader,
+                recipients=len(self._capture_net.node_ids) - 1,
+            )
+        payload = sim._packet
+        if fault is not None and fault.equivocates:
+            payload = dataclasses.replace(
+                sim._packet, randomness=sim._packet.randomness + "#equivocation"
+            )
+        if leader in sim._nodes:
+            # The leader installs the *canonical* packet locally (an
+            # equivocator keeps the good one for herself); selection
+            # replay records sort right after leader.broadcast (sub 1).
+            self.driver.install_packet(self.shard_of[leader], rank, time)
+        if self.traced:
+            self.tracer.set_context(time, _LANE_COORD, self._next_rank(), 0)
+        self._capture_clock.now = time
+        self._capture_net.multicast(
+            MessageKind.LEADER_BROADCAST,
+            sender=leader,
+            payload=payload,
+            recipients=self._capture_net.node_ids,
+        )
+        self._route(self._drain_captured())
+
+    def _leader_timeout_check(self, time: float) -> None:
+        fallbacks = self.driver.fallback_check(time)
+        if self.traced:
+            self._emit(
+                "leader.timeout", time=time, phase="leader", fallbacks=fallbacks
+            )
+            self.tracer.metrics.counter("protocol.leader_fallbacks").inc(fallbacks)
+
+    def _retransmit_sweep(self, time: float) -> None:
+        sim = self.sim
+        states = self.driver.sweep_states()
+        confirmed: set[str] = set()
+        for union, __, __flags in states.values():
+            confirmed |= union
+        txs_reannounced = 0
+        blocks_regossiped = 0
+        if self.traced:
+            self.tracer.set_context(time, _LANE_COORD, self._next_rank(), 0)
+        self._capture_clock.now = time
+        for tx in sim._transactions:
+            if tx.tx_id in confirmed:
+                continue
+            txs_reannounced += 1
+            sent = self._capture_net.broadcast(
+                MessageKind.TX, sender=f"user:{tx.sender}", payload=tx
+            )
+            if sent:
+                self.fault_model.note_retransmission()
+        for public in sim._nodes:
+            if self.fault_model is not None and self.fault_model.crashed(
+                public, time
+            ):
+                continue
+            for block in states[self.shard_of[public]][1][public]:
+                blocks_regossiped += 1
+                sent = self._capture_net.broadcast(
+                    MessageKind.BLOCK, sender=public, payload=block
+                )
+                if sent:
+                    self.fault_model.note_retransmission()
+        packet_resends = self._retransmit_packet(time, states)
+        if self.traced:
+            self._emit(
+                "retransmit.sweep",
+                time=time,
+                phase="retransmit",
+                txs_reannounced=txs_reannounced,
+                blocks_regossiped=blocks_regossiped,
+                packet_resends=packet_resends,
+            )
+            self.tracer.metrics.counter("protocol.retransmit_sweeps").inc()
+        self._route(self._drain_captured())
+        if time + self.config.retransmit_interval <= self.config.max_duration:
+            self._push_calendar(
+                time + self.config.retransmit_interval, "sweep", None
+            )
+
+    def _retransmit_packet(self, time: float, states: dict) -> int:
+        sim = self.sim
+        if not sim._distribute_packet:
+            return 0
+        fault = self.config.fault_plan.leader if self.config.fault_plan else None
+        if fault is not None:
+            return 0
+        leader = sim._assignment.leader_public
+        if self.fault_model is not None and self.fault_model.crashed(leader, time):
+            return 0
+        resends = 0
+        for public in sim._nodes:
+            if public == leader:
+                continue
+            has_replay, fell_back = states[self.shard_of[public]][2][public]
+            if has_replay or fell_back:
+                continue
+            resends += 1
+            sent = self._capture_net.send(
+                Message(
+                    kind=MessageKind.LEADER_BROADCAST,
+                    sender=leader,
+                    recipient=public,
+                    payload=sim._packet,
+                )
+            )
+            if sent:
+                self.fault_model.note_retransmission()
+        return resends
+
+    # -- main loop ------------------------------------------------------
+    def execute(self) -> "ProtocolResult":
+        base = self.config.latency.base_seconds
+        horizon = self.config.max_duration
+        bound_cap = math.nextafter(horizon, math.inf)
+        stop_on_drain = not self.config.run_to_horizon
+
+        self._inject()
+        self._next_times = self.driver.schedule_initial()
+
+        t_star: float
+        completing: tuple[int, int] | None = None
+        if stop_on_drain and all(self._done.values()):
+            # Nothing to confirm: the serial engine's stop condition
+            # fires before the first event.
+            t_star = 0.0
+        else:
+            while True:
+                t1 = math.inf
+                for value in self._next_times.values():
+                    if value is not None and value < t1:
+                        t1 = value
+                for batch in self._pending.values():
+                    for time, __, __msg in batch:
+                        if time < t1:
+                            t1 = time
+                t_cal = self._calendar[0][0] if self._calendar else math.inf
+                if min(t1, t_cal) > horizon:
+                    t_star = horizon
+                    break
+                if t_cal <= t1:
+                    time, __, kind, payload = heapq.heappop(self._calendar)
+                    self._run_calendar_event(time, kind, payload)
+                    continue
+                bound = min(t1 + base, t_cal, bound_cap)
+                due = {
+                    shard
+                    for shard in self.shard_ids
+                    if self._pending.get(shard)
+                    or (
+                        self._next_times.get(shard) is not None
+                        and self._next_times[shard] < bound
+                    )
+                }
+                deliveries = {
+                    shard: self._pending.pop(shard)
+                    for shard in list(self._pending)
+                    if self._pending.get(shard)
+                }
+                reports = self.driver.run_windows(bound, deliveries, due)
+                intents: list[SendIntent] = []
+                transitions: list[tuple] = []
+                for shard, report in reports.items():
+                    self._next_times[shard] = report.next_time
+                    self._confirms[shard].extend(report.confirms)
+                    self._stats_entries[shard].extend(report.stats_entries)
+                    self._mines[shard].extend(report.mines)
+                    self._segments[shard].extend(report.tagged)
+                    intents.extend(report.intents)
+                    for time, ordinal, done in report.transitions:
+                        transitions.append((time, shard, ordinal, done))
+                if stop_on_drain and transitions:
+                    transitions.sort(key=lambda t: (t[0], t[1]))
+                    stopped = False
+                    for time, shard, ordinal, done in transitions:
+                        self._done[shard] = done
+                        if done and all(self._done.values()):
+                            t_star = time
+                            completing = (shard, ordinal)
+                            stopped = True
+                            break
+                    if stopped:
+                        # Post-stop sends are discarded unreplayed; the
+                        # admissible prefix still replays so its fault
+                        # records (and RNG draws) match the serial run.
+                        self._replay_intents(
+                            intents, cutoff=(t_star, completing)
+                        )
+                        break
+                self._replay_intents(intents)
+        return self._finalize(t_star, completing)
+
+    # -- result assembly ------------------------------------------------
+    def _finalize(self, t_star: float, completing) -> "ProtocolResult":
+        from repro.sim.protocol import ProtocolResult
+
+        sim = self.sim
+        finals = self.driver.finish()
+        self.driver.close()
+        for final in finals:
+            shard = final.shard
+            report = final.report
+            self._confirms[shard].extend(report.confirms)
+            self._stats_entries[shard].extend(report.stats_entries)
+            self._mines[shard].extend(report.mines)
+            self._segments[shard].extend(report.tagged)
+
+        cutoff = (t_star, completing)
+        confirmed: set[str] = set()
+        per_shard: dict[int, int] = {}
+        rejected = 0
+        reasons_by_node: dict[str, list[str]] = defaultdict(list)
+        fallbacks_total = 0
+        equivocations = 0
+        crash_drops = 0
+        for shard in self.shard_ids:
+            union: set[str] = set()
+            counts: dict[str, int] = {}
+            for time, ordinal, added, removed, entry_counts in self._confirms[shard]:
+                if not _admits(cutoff, time, shard, ordinal):
+                    continue
+                union = (union - removed) | added
+                counts = entry_counts
+            confirmed |= union
+            per_shard[shard] = max(counts.values(), default=0)
+            for entry in self._stats_entries[shard]:
+                (time, ordinal, node_id, d_rej, reasons, d_pkt, d_fb,
+                 d_crash, directive) = entry
+                if not directive and not _admits(cutoff, time, shard, ordinal):
+                    continue
+                rejected += d_rej
+                reasons_by_node[node_id].extend(reasons)
+                equivocations += d_pkt
+                fallbacks_total += d_fb
+                crash_drops += d_crash
+            for time, ordinal, block in self._mines[shard]:
+                if _admits(cutoff, time, shard, ordinal):
+                    sim._rewards.credit_block(block)
+        reasons = [
+            reason
+            for public in sim._nodes
+            for reason in reasons_by_node.get(public, ())
+        ]
+
+        stats = (
+            self.fault_model.stats if self.fault_model is not None else FaultStats()
+        )
+        stats.crash_drops += crash_drops
+        stats.fallbacks = fallbacks_total
+        stats.equivocations_detected = equivocations
+
+        # Fold worker traffic accounting back onto the simulation's
+        # network object (wall-style bookkeeping; not digest material).
+        net = sim._network
+        for final in finals:
+            delivered, cross, per_shard_msgs, per_kind = final.network_counters
+            net.messages_delivered += delivered
+            net.cross_shard_messages += cross
+            for shard_id, count in per_shard_msgs.items():
+                net.per_shard_messages[shard_id] += count
+            for kind, count in per_kind.items():
+                net.per_kind_messages[kind] += count
+
+        events_fired = self._calendar_fired + sum(f.events_fired for f in finals)
+        compactions = sum(f.compactions for f in finals)
+
+        tracer = sim._tracer
+        if tracer is not None:
+            segments = [self.tracer.tagged]
+            for shard in self.shard_ids:
+                segments.append(
+                    [
+                        pair
+                        for pair in self._segments[shard]
+                        if pair[0][1] == _LANE_COORD
+                        or _admits(cutoff, pair[0][0], pair[0][2], pair[0][3])
+                    ]
+                )
+            merged = merge_tagged_records(segments, base_seq=tracer._seq)
+            tracer.records.extend(merged)
+            tracer._seq += len(merged)
+            tracer.metrics.merge(self.tracer.metrics)
+            for final in finals:
+                if final.metrics is not None:
+                    tracer.metrics.merge(final.metrics)
+            for shard, count in sorted(per_shard.items()):
+                tracer.event(
+                    "shard.confirmed",
+                    time=t_star,
+                    phase="result",
+                    shard=shard,
+                    confirmed=count,
+                )
+            tracer.event(
+                "run.complete",
+                time=t_star,
+                phase="result",
+                confirmed=len(confirmed),
+                blocks_rejected=rejected,
+                drops=stats.messages_lost,
+                retransmissions=stats.retransmissions,
+                fallbacks=stats.fallbacks,
+                equivocations_detected=stats.equivocations_detected,
+                wall={
+                    "engine": self.config.engine,
+                    "events_fired": events_fired,
+                    "compactions": compactions,
+                    "workers": self.workers,
+                    "backend": self.driver.name,
+                },
+            )
+            tracer.metrics.gauge("protocol.duration_sim_s").set(t_star)
+            tracer.metrics.gauge("protocol.confirmed").set(len(confirmed))
+            tracer.metrics.gauge("protocol.events_fired").set(events_fired)
+            tracer.metrics.gauge("protocol.queue_compactions").set(compactions)
+
+        return ProtocolResult(
+            duration=t_star,
+            confirmed_tx_ids=confirmed,
+            blocks_rejected=rejected,
+            rejection_reasons=reasons,
+            per_shard_confirmed=per_shard,
+            rewards=sim._rewards,
+            drops=stats.messages_lost,
+            retransmissions=stats.retransmissions,
+            fallbacks=stats.fallbacks,
+            equivocations_detected=stats.equivocations_detected,
+            fault_stats=stats,
+            trace=tracer,
+        )
+
+
+def _admits(cutoff, time: float, shard, ordinal) -> bool:
+    """Whether a journal entry / record / intent precedes the stop.
+
+    ``cutoff = (t_star, completing)``: with ``completing`` set, the run
+    stopped on event ``ordinal*`` of ``shard*`` at ``t_star`` — earlier
+    times are in, the completing shard's events through ``ordinal*``
+    are in, everything else at or after ``t_star`` is out. With
+    ``completing=None`` the run hit the horizon and everything fired
+    (time ≤ horizon) is in.
+    """
+    t_star, completing = cutoff
+    if time < t_star:
+        return True
+    if completing is None:
+        return time <= t_star
+    shard_star, ordinal_star = completing
+    return time == t_star and shard == shard_star and ordinal <= ordinal_star
+
+
+def run_shard_parallel(
+    sim: "ProtocolSimulation",
+    window_order: Sequence[int] | None = None,
+) -> "ProtocolResult":
+    """Execute a built :class:`ProtocolSimulation` on the shard-parallel
+    engine. ``window_order`` is a test hook: the in-process backend
+    processes shard windows in that order (results are order-invariant —
+    the determinism property tests permute it)."""
+    with sim._trace_scope():
+        return _ShardParallelRun(sim, window_order=window_order).execute()

@@ -87,8 +87,18 @@ class ProtocolConfig:
         tip-delta reorgs, cached fee-ranked mempool view. ``"legacy"``
         is the frozen pre-optimization engine
         (:mod:`repro.net.legacy`), kept as the differential oracle and
-        the benchmark baseline. Same seed ⇒ bit-identical trace digests
-        across both engines (the engine-parity tests enforce this).
+        the benchmark baseline. ``"shard_parallel"`` partitions the fast
+        engine's loop by shard with deterministic epoch barriers
+        (:mod:`repro.runtime.shard_workers`); it needs a positive
+        ``latency.base_seconds`` for its lookahead bound and otherwise
+        falls back to the serial fast path. Same seed ⇒ bit-identical
+        trace digests across all engines (the engine-parity tests
+        enforce this).
+    shard_workers:
+        Worker processes for the shard-parallel engine. ``None`` or 1
+        runs every shard loop in-process (always available); > 1 forks
+        that many workers on platforms with ``os.fork``. Ignored by the
+        other engines.
     """
 
     pow_params: PoWParameters = field(default_factory=PoWParameters.one_block_per_minute)
@@ -105,12 +115,17 @@ class ProtocolConfig:
     trace: Tracer | bool | None = None
     engine: str = "fast"
     run_to_horizon: bool = False
+    shard_workers: int | None = None
 
     def __post_init__(self) -> None:
-        if self.engine not in ("fast", "legacy"):
+        if self.engine not in ("fast", "legacy", "shard_parallel"):
             raise ConfigError(
                 f"unknown protocol engine {self.engine!r} "
-                "(expected 'fast' or 'legacy')"
+                "(expected 'fast', 'legacy' or 'shard_parallel')"
+            )
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ConfigError(
+                f"shard_workers must be at least 1: {self.shard_workers}"
             )
 
 
@@ -210,8 +225,11 @@ class ProtocolSimulation:
 
         # Engine selection: the fast path is the default; the frozen
         # legacy engine replays the identical seeded run through the
-        # pre-optimization scheduler/network/mempool/reorg code.
-        self._fast_engine = self._config.engine == "fast"
+        # pre-optimization scheduler/network/mempool/reorg code. The
+        # shard-parallel engine shares the fast data structures (nodes
+        # are built with fast paths; its coordinator replaces only the
+        # event loop), so everything below treats it as "fast".
+        self._fast_engine = self._config.engine != "legacy"
         if self._fast_engine:
             self._scheduler = Scheduler()
             self._network = Network(
@@ -432,6 +450,16 @@ class ProtocolSimulation:
             return self._run()
 
     def _run(self) -> ProtocolResult:
+        if (
+            self._config.engine == "shard_parallel"
+            and self._config.latency.base_seconds > 0
+        ):
+            # The parallel engine's conservative lookahead is the base
+            # latency; a zero base gives empty windows, so logical-time
+            # runs stay on the (equivalent) serial fast path below.
+            from repro.runtime.shard_workers import run_shard_parallel
+
+            return run_shard_parallel(self)
         tracer = self._tracer
         if tracer is not None:
             tracer.event(
@@ -752,10 +780,7 @@ class ProtocolSimulation:
         for public, node in self._nodes.items():
             if self._node_crashed(public):
                 continue
-            tip = node.ledger.canonical_chain()[-self._config.retransmit_blocks:]
-            for block in tip:
-                if block.header.height == 0:
-                    continue
+            for block in node.canonical_tip_blocks(self._config.retransmit_blocks):
                 blocks_regossiped += 1
                 sent = self._network.broadcast(
                     MessageKind.BLOCK, sender=public, payload=block

@@ -1,0 +1,126 @@
+"""Unit and property tests for the shard-parallel engine's machinery.
+
+Engine-level parity lives in ``tests/sim/test_shard_parallel.py``; this
+module covers the pieces that make it work — total-order trace tags,
+the tagged-segment merge, container-aware CPU counting — and the core
+determinism property: the order shard windows execute in (the thing
+real parallelism randomizes) is unobservable.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.consensus.miner import MinerIdentity
+from repro.observe import Tracer, merge_tagged_records
+from repro.runtime import effective_cpu_count
+from repro.runtime.shard_workers import TaggedTracer, run_shard_parallel
+from repro.sim.protocol import ProtocolConfig, ProtocolSimulation
+from repro.workloads.generators import uniform_contract_workload
+
+
+class TestTaggedTracer:
+    def test_tags_order_within_and_across_contexts(self):
+        tracer = TaggedTracer()
+        tracer.set_context(1.0, 1, 0, 5)
+        tracer.event("a", time=1.0, phase="x")
+        tracer.event("b", time=1.0, phase="x")
+        tracer.set_context(0.5, 0, 3, 0)
+        tracer.event("c", time=0.5, phase="x")
+        tags = [tag for tag, __ in tracer.tagged]
+        # Within a context the emission index orders records; across
+        # contexts the (time, lane, a, b) prefix does.
+        assert tags[0] < tags[1]
+        assert sorted(tags) == [tags[2], tags[0], tags[1]]
+
+    def test_emission_mark_counts_context_emissions(self):
+        tracer = TaggedTracer()
+        tracer.set_context(2.0, 1, 1, 0)
+        assert tracer.emission_mark == 0
+        tracer.event("a", time=2.0, phase="x")
+        assert tracer.emission_mark == 1
+        tracer.set_context(3.0, 1, 1, 1)
+        assert tracer.emission_mark == 0
+
+    def test_fractional_base_slots_between_integer_indexes(self):
+        """Intent-replay records tag at ``mark - 0.5`` so they sort
+        between a mine event's own record and its post-event records."""
+        tracer = TaggedTracer()
+        tracer.set_context(1.0, 1, 0, 0)
+        tracer.event("block.forged", time=1.0, phase="mine")  # i=0
+        tracer.event("tx.confirmed", time=1.0, phase="confirm")  # i=1
+        tracer.set_context(1.0, 1, 0, 0, base=0.5, step=1e-9)
+        tracer.event("fault.drop", time=1.0, phase="fault")
+        ordered = [r.name for __, r in sorted(tracer.tagged, key=lambda p: p[0])]
+        assert ordered == ["block.forged", "fault.drop", "tx.confirmed"]
+
+    def test_tags_never_alter_record_content(self):
+        plain = Tracer()
+        tagged = TaggedTracer()
+        for tracer in (plain, tagged):
+            tracer.event("e", time=4.2, phase="p", shard=1, actor="m0", k=3)
+        assert plain.records[0].identity() == tagged.records[0].identity()
+
+
+class TestMergeTaggedRecords:
+    def test_merges_segments_by_tag_and_renumbers_seq(self):
+        a, b = TaggedTracer(), TaggedTracer()
+        a.set_context(2.0, 1, 0, 0)
+        a.event("late", time=2.0, phase="x")
+        b.set_context(1.0, 1, 1, 0)
+        b.event("early", time=1.0, phase="x")
+        merged = merge_tagged_records([a.tagged, b.tagged], base_seq=10)
+        assert [r.name for r in merged] == ["early", "late"]
+        assert [r.seq for r in merged] == [10, 11]
+
+    def test_merge_is_stable_for_equal_tags(self):
+        a = TaggedTracer()
+        a.set_context(1.0, 0, 0, 0, step=0.0)  # identical tags
+        a.event("first", time=1.0, phase="x")
+        a.event("second", time=1.0, phase="x")
+        merged = merge_tagged_records([a.tagged])
+        assert [r.name for r in merged] == ["first", "second"]
+
+
+class TestEffectiveCpuCount:
+    def test_positive(self):
+        assert effective_cpu_count() >= 1
+
+    def test_matches_affinity_when_available(self):
+        if hasattr(os, "sched_getaffinity"):
+            assert effective_cpu_count() == len(os.sched_getaffinity(0))
+
+
+def _build_sim(engine="shard_parallel", **overrides):
+    identities = [MinerIdentity.create(f"m{i}") for i in range(6)]
+    workload = uniform_contract_workload(total_txs=40, contract_shards=3, seed=7)
+    config = ProtocolConfig(
+        seed=7, engine=engine, trace=True, max_duration=5000.0, **overrides
+    )
+    return ProtocolSimulation(identities, workload, config=config)
+
+
+class TestWindowOrderInvariance:
+    """The determinism property: which shard runs its window first is an
+    artifact of scheduling (process speed, OS jitter), so the engine's
+    output must be invariant under *any* permutation of it."""
+
+    def test_permuted_window_orders_produce_identical_digests(self):
+        reference = _build_sim().run().trace.digest()
+        sim = _build_sim()
+        shard_ids = sorted({node.shard_id for node in sim._nodes.values()})
+        rng = random.Random(0xC0FFEE)
+        for __ in range(3):
+            order = list(shard_ids)
+            rng.shuffle(order)
+            sim = _build_sim()
+            result = run_shard_parallel(sim, window_order=order)
+            assert result.trace.digest() == reference, order
+
+    def test_reversed_window_order_matches_fast_engine(self):
+        fast = _build_sim(engine="fast").run().trace.digest()
+        sim = _build_sim()
+        shard_ids = sorted({node.shard_id for node in sim._nodes.values()})
+        result = run_shard_parallel(sim, window_order=list(reversed(shard_ids)))
+        assert result.trace.digest() == fast

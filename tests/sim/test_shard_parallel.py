@@ -1,0 +1,213 @@
+"""Shard-parallel engine parity: per-shard loops vs. the serial fast engine.
+
+The headline guarantee of ``engine="shard_parallel"``
+(:mod:`repro.runtime.shard_workers`) is that partitioning the event loop
+by shard changes *nothing observable*: same-seed runs produce
+bit-identical trace digests and identical result fields. These tests
+hold that against the recorded ``seed_digests.json`` baselines (so the
+parallel engine is pinned to the exact historical stream, not merely to
+whatever the fast engine currently emits), across scenario runs (probes,
+lineage tracing, adversarial behaviors, horizon mode), and on the
+fork-based multi-worker backend.
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.consensus.miner import MinerIdentity
+from repro.errors import ConfigError
+from repro.net.network import LatencyModel
+from repro.observe import Tracer
+from repro.runtime.shard_workers import fork_available
+from repro.sim.protocol import ProtocolConfig, ProtocolSimulation
+from repro.workloads.generators import uniform_contract_workload
+from tests.sim.test_engine_parity import PROFILES, _simulate
+
+BASELINES = json.loads(
+    (pathlib.Path(__file__).parent / "seed_digests.json").read_text()
+)
+
+RESULT_FIELDS = (
+    "duration",
+    "confirmed_tx_ids",
+    "blocks_rejected",
+    "rejection_reasons",
+    "per_shard_confirmed",
+    "drops",
+    "retransmissions",
+    "fallbacks",
+    "equivocations_detected",
+)
+
+REWARD_FIELDS = (
+    "block_rewards",
+    "fee_income",
+    "blocks_mined",
+    "empty_blocks_mined",
+)
+
+
+def _assert_results_identical(fast, par):
+    for fieldname in RESULT_FIELDS:
+        assert getattr(par, fieldname) == getattr(fast, fieldname), fieldname
+    for fieldname in REWARD_FIELDS:
+        assert dict(getattr(par.rewards, fieldname)) == dict(
+            getattr(fast.rewards, fieldname)
+        ), fieldname
+
+
+class TestRecordedBaselineParity:
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_digest_matches_recorded_baseline(self, profile):
+        """The parallel engine reproduces the *committed* digests — the
+        same pin the fast and legacy engines are held to."""
+        __, result = _simulate("shard_parallel", **PROFILES[profile])
+        assert result.trace.digest() == BASELINES[profile]
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_result_fields_match_fast_engine(self, profile):
+        # Tx ids embed a process-global serial, so confirmed-set
+        # comparisons must run both engines over one shared workload.
+        workload = uniform_contract_workload(
+            total_txs=40, contract_shards=3, seed=7
+        )
+        __, fast = _simulate("fast", workload=workload, **PROFILES[profile])
+        __, par = _simulate(
+            "shard_parallel", workload=workload, **PROFILES[profile]
+        )
+        assert par.trace.digest() == fast.trace.digest()
+        _assert_results_identical(fast, par)
+
+    def test_run_complete_wall_sidecar_names_engine_and_backend(self):
+        __, result = _simulate("shard_parallel")
+        record = result.trace.records_named("run.complete")[0]
+        assert record.wall["engine"] == "shard_parallel"
+        assert record.wall["backend"] == "inline"
+        assert record.wall["workers"] == 1
+
+
+class TestScenarioParity:
+    @pytest.mark.parametrize("name", ["takeover", "double-spend", "eclipse"])
+    def test_scenario_digest_and_report_parity(self, name):
+        """Scenarios exercise everything at once: adversarial behaviors,
+        pre-scheduled probes, lineage tracing, and horizon mode."""
+        from repro.scenarios.base import run_scenario
+        from repro.scenarios.library import SCENARIOS
+
+        fast = run_scenario(SCENARIOS[name](), seed=3, engine="fast")
+        par = run_scenario(SCENARIOS[name](), seed=3, engine="shard_parallel")
+        assert fast.digest == par.digest
+        assert dataclasses.replace(
+            par.report, engine="fast"
+        ) == fast.report
+
+
+class TestBackendsAndFallbacks:
+    @pytest.mark.skipif(not fork_available(), reason="needs os.fork")
+    @pytest.mark.parametrize("profile", ["clean", "unified-faulty"])
+    def test_fork_backend_matches_recorded_baseline(self, profile):
+        from repro.faults.plan import FaultPlan
+
+        identities = [MinerIdentity.create(f"m{i}") for i in range(6)]
+        workload = uniform_contract_workload(
+            total_txs=40, contract_shards=3, seed=7
+        )
+        plan = (
+            FaultPlan.lossy(0.08, duplicate_probability=0.05)
+            if "faulty" in profile
+            else None
+        )
+        config = ProtocolConfig(
+            seed=7,
+            engine="shard_parallel",
+            trace=True,
+            max_duration=5000.0,
+            fault_plan=plan,
+            retransmit_interval=60.0 if plan else None,
+            shard_workers=2,
+        )
+        sim = ProtocolSimulation(
+            identities, workload, config=config, unified="unified" in profile
+        )
+        result = sim.run()
+        assert result.trace.digest() == BASELINES[profile]
+        record = result.trace.records_named("run.complete")[0]
+        assert record.wall["backend"] == "fork"
+        assert record.wall["workers"] == 2
+
+    def test_zero_base_latency_falls_back_to_serial_fast_path(self):
+        """No base latency ⇒ no lookahead bound ⇒ the config is accepted
+        but the run executes on the (equivalent) serial fast loop."""
+        identities = [MinerIdentity.create(f"m{i}") for i in range(4)]
+        workload = uniform_contract_workload(
+            total_txs=20, contract_shards=2, seed=11
+        )
+        latency = LatencyModel(base_seconds=0.0, jitter_seconds=0.0)
+        digests = {}
+        for engine in ("fast", "shard_parallel"):
+            config = ProtocolConfig(
+                seed=11, engine=engine, trace=True, latency=latency
+            )
+            result = ProtocolSimulation(
+                identities, workload, config=config
+            ).run()
+            digests[engine] = result.trace.digest()
+        assert digests["fast"] == digests["shard_parallel"]
+
+    def test_run_to_horizon_parity(self):
+        identities = [MinerIdentity.create(f"m{i}") for i in range(4)]
+        digests = {}
+        for engine in ("fast", "shard_parallel"):
+            workload = uniform_contract_workload(
+                total_txs=20, contract_shards=2, seed=11
+            )
+            config = ProtocolConfig(
+                seed=11,
+                engine=engine,
+                trace=True,
+                max_duration=600.0,
+                run_to_horizon=True,
+            )
+            result = ProtocolSimulation(
+                identities, workload, config=config
+            ).run()
+            assert result.duration == 600.0
+            digests[engine] = result.trace.digest()
+        assert digests["fast"] == digests["shard_parallel"]
+
+    def test_lineage_tracing_parity(self):
+        identities = [MinerIdentity.create(f"m{i}") for i in range(6)]
+        workload = uniform_contract_workload(
+            total_txs=40, contract_shards=3, seed=7
+        )
+        digests = {}
+        for engine in ("fast", "shard_parallel"):
+            config = ProtocolConfig(
+                seed=7,
+                engine=engine,
+                trace=Tracer(lineage=True),
+                max_duration=5000.0,
+            )
+            result = ProtocolSimulation(
+                identities, workload, config=config
+            ).run()
+            digests[engine] = result.trace.digest()
+            assert result.trace.count("tx.seen") > 0
+            assert result.trace.count("tx.confirmed") > 0
+        assert digests["fast"] == digests["shard_parallel"]
+
+
+class TestConfigValidation:
+    def test_shard_parallel_engine_accepted(self):
+        assert ProtocolConfig(engine="shard_parallel").engine == "shard_parallel"
+
+    def test_unknown_engine_still_rejected(self):
+        with pytest.raises(ConfigError, match="shard_parallel"):
+            ProtocolConfig(engine="turbo")
+
+    def test_nonpositive_shard_workers_rejected(self):
+        with pytest.raises(ConfigError, match="shard_workers"):
+            ProtocolConfig(shard_workers=0)
