@@ -73,11 +73,25 @@ def _trace_record(args) -> int:
     from repro.net.network import LatencyModel
     from repro.observe import Tracer
     from repro.sim.protocol import ProtocolConfig, ProtocolSimulation
-    from repro.workloads import uniform_contract_workload
+    from repro.workloads import (
+        streaming_uniform_contract_workload,
+        uniform_contract_workload,
+    )
 
     miners = [MinerIdentity.create(f"m{i}") for i in range(args.miners)]
-    workload = uniform_contract_workload(
-        total_txs=args.txs, contract_shards=args.shards, seed=args.seed
+    if args.stream:
+        workload = streaming_uniform_contract_workload(
+            total_txs=args.txs, contract_shards=args.shards, seed=args.seed
+        )
+    else:
+        workload = uniform_contract_workload(
+            total_txs=args.txs, contract_shards=args.shards, seed=args.seed
+        )
+    # Lineage indexes a materialized workload; paced streaming refuses
+    # it, and sink mode spills records the lineage probes would re-read.
+    lineage = not args.no_lineage and not args.stream and not args.sink
+    tracer = Tracer(
+        lineage=lineage, sink=args.output if args.sink else None
     )
     config = ProtocolConfig(
         pow_params=PoWParameters(difficulty=0x40000 // 60),
@@ -85,21 +99,29 @@ def _trace_record(args) -> int:
         seed=args.seed,
         max_duration=5_000.0,
         engine=args.engine,
-        trace=Tracer(lineage=not args.no_lineage),
+        trace=tracer,
         fault_plan=(
             FaultPlan.lossy(0.08, duplicate_probability=0.05)
             if args.faulty
             else None
         ),
         retransmit_interval=60.0 if args.faulty else None,
+        inject_batch=args.inject_batch,
+        inject_interval=args.inject_interval,
+        mempool_limit=args.mempool_limit,
     )
     result = ProtocolSimulation(
         miners, workload, config=config, unified=args.unified
     ).run()
     trace = result.trace
-    target = trace.write_jsonl(args.output)
+    if args.sink:
+        target = trace.finish_sink()
+        records = trace.spilled
+    else:
+        target = trace.write_jsonl(args.output)
+        records = len(trace)
     print(
-        f"recorded {len(trace)} records to {target} "
+        f"recorded {records} records to {target} "
         f"(engine={args.engine}, seed={args.seed}, "
         f"confirmed={result.confirmed_count()})"
     )
@@ -307,6 +329,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-lineage",
         action="store_true",
         help="omit per-transaction lifecycle events",
+    )
+    record.add_argument(
+        "--stream",
+        action="store_true",
+        help="generator-backed workload instead of a materialized list",
+    )
+    record.add_argument(
+        "--sink",
+        action="store_true",
+        help="spill trace records to the output file incrementally",
+    )
+    record.add_argument(
+        "--inject-batch",
+        type=int,
+        default=None,
+        help="paced injection: transactions per injection tick",
+    )
+    record.add_argument(
+        "--inject-interval",
+        type=float,
+        default=1.0,
+        help="paced injection: seconds between injection ticks",
+    )
+    record.add_argument(
+        "--mempool-limit",
+        type=int,
+        default=None,
+        help="bounded mempool: evict lowest-fee txs above this size",
     )
 
     profile = trace_sub.add_parser(

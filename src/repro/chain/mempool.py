@@ -14,13 +14,21 @@ skips entries that left the pool; the view is compacted once more than
 half of it is stale). The uncached sort survives as
 :meth:`select_by_fee_sorted`, the differential oracle the mempool tests
 compare against, and the code path the legacy protocol engine uses.
+
+Streaming campaigns bound the pool: ``limit=`` caps the resident
+transaction count, and admission beyond it evicts the lowest-fee
+resident (ties broken by tx id, so every node evicts identically).
+An incoming transaction that would itself be the eviction victim is
+refused outright. Both outcomes count in :attr:`Mempool.evictions` —
+a capacity limit that fails loudly in the run report, never silently.
 """
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import insort_right
 
 from repro.chain.transaction import Transaction
+from repro.errors import ConfigError
 
 
 def _fee_rank(tx: Transaction) -> tuple[int, str]:
@@ -35,11 +43,22 @@ class Mempool:
     :meth:`select_by_fee` through the original full sort — used by the
     legacy protocol engine so benchmark baselines measure the shipped
     pre-optimization behavior.
+
+    ``limit`` bounds the resident pool (``None`` = unbounded). The
+    eviction rule is deterministic — drop the worst ``(-fee, tx_id)``
+    entry, which may be the incoming transaction itself — so two nodes
+    seeing the same admission sequence hold the same pool.
     """
 
-    def __init__(self, fee_cache: bool = True) -> None:
+    def __init__(self, fee_cache: bool = True, limit: int | None = None) -> None:
+        if limit is not None and limit <= 0:
+            raise ConfigError(f"mempool limit must be positive: got {limit}")
         self._pool: dict[str, Transaction] = {}
         self._fee_cache = fee_cache
+        self._limit = limit
+        #: How many admissions the bound turned away (evicted resident
+        #: or refused incoming) — surfaced as ``ProtocolResult.evicted``.
+        self.evictions = 0
         # The ranked view: pool transactions in (-fee, tx_id) order plus
         # up to ``_ranked_stale`` entries that already left the pool.
         self._ranked: list[Transaction] | None = None
@@ -51,14 +70,97 @@ class Mempool:
     def __contains__(self, tx_id: str) -> bool:
         return tx_id in self._pool
 
+    @property
+    def limit(self) -> int | None:
+        return self._limit
+
     def add(self, tx: Transaction) -> bool:
-        """Insert a transaction; returns False when already present."""
+        """Insert a transaction; returns False when already present.
+
+        At capacity the lowest-fee entry loses its seat: either the
+        worst resident is evicted to admit ``tx``, or ``tx`` itself is
+        refused because it ranks at (or below) the worst resident.
+        """
         if tx.tx_id in self._pool:
             return False
+        if self._limit is not None and len(self._pool) >= self._limit:
+            worst = self._worst_resident()
+            if _fee_rank(tx) >= _fee_rank(worst):
+                # The incoming tx would be the immediate victim.
+                self.evictions += 1
+                return False
+            self._evict(worst)
         self._pool[tx.tx_id] = tx
         if self._ranked is not None:
-            insort(self._ranked, tx, key=_fee_rank)
+            self._insert_ranked(tx)
         return True
+
+    def _insert_ranked(self, tx: Transaction) -> None:
+        """Ordered insert that revives a stale copy instead of duplicating.
+
+        A transaction removed and later re-added (faulty-network
+        re-pooling) still has its old entry in the ranked view; naively
+        insorting would leave two live-looking copies of the same key
+        and over-count ``_ranked_stale`` forever. The dataclass is
+        frozen, so the stale object *is* the live one — finding an
+        equal-key entry just cancels one unit of staleness.
+        """
+        ranked = self._ranked
+        assert ranked is not None
+        if self._ranked_stale:
+            rank = _fee_rank(tx)
+            lo, hi = 0, len(ranked)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if _fee_rank(ranked[mid]) < rank:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < len(ranked) and ranked[lo].tx_id == tx.tx_id:
+                self._ranked_stale -= 1
+                return
+            ranked.insert(lo, tx)
+            return
+        insort_right(ranked, tx, key=_fee_rank)
+
+    def _worst_resident(self) -> Transaction:
+        """The resident with the maximal ``(-fee, tx_id)`` rank.
+
+        Served from the tail of the ranked view when it exists; stale
+        tail entries are physically dropped on the way (each one
+        decrements ``_ranked_stale``, keeping the lazy-compaction
+        counter exact — see the eviction/compaction interaction test).
+        """
+        ranked = self._ranked
+        if ranked is None:
+            return max(self._pool.values(), key=_fee_rank)
+        pool = self._pool
+        while ranked:
+            tail = ranked[-1]
+            if tail.tx_id in pool:
+                return tail
+            ranked.pop()
+            self._ranked_stale -= 1
+        raise RuntimeError("ranked view empty while pool is non-empty")
+
+    def _evict(self, tx: Transaction) -> None:
+        """Drop a resident chosen by the bound, keeping counters exact.
+
+        The ranked tail entry (when cached) is removed *physically*, not
+        via :meth:`_note_removed` — marking it stale instead would leave
+        ``_ranked_stale`` over-counting entries the tail scan already
+        dropped and let :meth:`select_by_fee` serve from an
+        under-compacted view.
+        """
+        del self._pool[tx.tx_id]
+        self.evictions += 1
+        ranked = self._ranked
+        if ranked is not None and ranked and ranked[-1].tx_id == tx.tx_id:
+            ranked.pop()
+        elif ranked is not None:
+            # Eviction without the cache positioned at the tail (the
+            # entry sits mid-view behind stale ones): lazy-invalidate.
+            self._note_removed(1)
 
     def add_many(self, txs: list[Transaction]) -> int:
         """Insert many transactions; returns how many were new."""

@@ -154,7 +154,7 @@ class WorldState:
         else:
             beneficiary_addr = tx.recipient
 
-        beneficiary = self.accounts.get(beneficiary_addr)
+        beneficiary = self._resident(beneficiary_addr)
         if journal is not None and beneficiary_addr not in journal.accounts:
             journal.accounts[beneficiary_addr] = (
                 None
@@ -166,7 +166,7 @@ class WorldState:
         beneficiary.credit(tx.amount)
 
         if miner is not None and tx.fee:
-            miner_account = self.accounts.get(miner)
+            miner_account = self._resident(miner)
             if journal is not None and miner not in journal.accounts:
                 journal.accounts[miner] = (
                     None
@@ -176,6 +176,14 @@ class WorldState:
             if miner_account is None:
                 miner_account = self.create_account(miner)
             miner_account.credit(tx.fee)
+
+    def _resident(self, address: str) -> Account | None:
+        """The mutable account at ``address``, or None when absent.
+
+        Split out so :class:`SpeculativeView` can materialize overlay
+        copies on first touch without the base class paying any check.
+        """
+        return self.accounts.get(address)
 
     def apply_block_body(
         self,
@@ -236,6 +244,16 @@ class WorldState:
         }
         return clone
 
+    def speculative_view(self) -> "SpeculativeView":
+        """A copy-on-write overlay for speculative transaction packing.
+
+        Behaves exactly like :meth:`snapshot` for the check/apply
+        protocol, but copies only the accounts and contracts the
+        speculation actually touches — O(touched) instead of O(state).
+        The base state is never mutated; the view is throwaway.
+        """
+        return SpeculativeView(self)
+
     def total_supply(self) -> int:
         """Sum of all balances — conserved by fee-recycling transitions."""
         return sum(account.balance for account in self.accounts.values())
@@ -263,3 +281,69 @@ class WorldState:
             ],
             domain="world-state",
         )
+
+
+class SpeculativeView(WorldState):
+    """Copy-on-write overlay over a base :class:`WorldState`.
+
+    ``self.accounts`` / ``self.contracts`` hold only the entries the
+    speculation has touched; every miss falls through to the base and —
+    for mutating lookups — materializes a private copy on first touch.
+    Only the check/apply protocol is supported; whole-state views
+    (``snapshot``, ``fingerprint``, ``total_supply``) stay on the base
+    class and would see just the overlay, so don't use them here.
+    """
+
+    def __init__(self, base: WorldState) -> None:
+        super().__init__()
+        self._base = base
+
+    def create_account(self, address: str, balance: int = 0) -> Account:
+        existing = self._resident(address)
+        if existing is not None:
+            return existing
+        return super().create_account(address, balance)
+
+    def account(self, address: str) -> Account:
+        found = self.accounts.get(address)
+        if found is None:
+            shared = self._base.accounts.get(address)
+            if shared is None:
+                raise UnknownAccountError(address)
+            found = shared.snapshot()
+            self.accounts[address] = found
+        return found
+
+    def contract(self, address: str) -> SmartContract:
+        found = self.contracts.get(address)
+        if found is None:
+            shared = self._base.contracts.get(address)
+            if shared is None:
+                raise UnknownContractError(address)
+            found = SmartContract(
+                address=shared.address,
+                beneficiary=shared.beneficiary,
+                condition=shared.condition,
+                invocation_count=shared.invocation_count,
+            )
+            self.contracts[address] = found
+        return found
+
+    def _resident(self, address: str) -> Account | None:
+        found = self.accounts.get(address)
+        if found is None:
+            shared = self._base.accounts.get(address)
+            if shared is None:
+                return None
+            found = shared.snapshot()
+            self.accounts[address] = found
+        return found
+
+    def balance_of(self, address: str) -> int:
+        found = self.accounts.get(address)
+        if found is None:
+            found = self._base.accounts.get(address)
+        return found.balance if found is not None else 0
+
+    def has_account(self, address: str) -> bool:
+        return address in self.accounts or address in self._base.accounts

@@ -85,6 +85,15 @@ class MinerBehavior(abc.ABC):
         shared view of their private fork without touching the network.
         """
 
+    def note_confirmed(self, confirmed_tx_ids: set[str]) -> None:
+        """Hint: these transactions are canonically confirmed locally.
+
+        Called after each forge so behaviors holding per-transaction
+        working sets can compact them. Stateless behaviors ignore it; a
+        compaction must never change which transactions the behavior
+        would still pick (confirmed transactions are already out of the
+        mempool, so dropping them is unobservable)."""
+
 
 class HonestBehavior(MinerBehavior):
     """Fee-greedy honest miner: the Ethereum default of Sec. II-B."""
@@ -109,8 +118,12 @@ class AssignedSelectionBehavior(MinerBehavior):
     holds the *ids*; confirmed transactions silently drop out of the set.
     """
 
+    #: Below this size the per-pick scan is cheaper than compacting.
+    _COMPACT_MIN = 32
+
     def __init__(self, assigned_tx_ids: list[str]) -> None:
         self._assigned = list(assigned_tx_ids)
+        self._noted_confirmed = 0
 
     @property
     def assigned_tx_ids(self) -> list[str]:
@@ -118,10 +131,32 @@ class AssignedSelectionBehavior(MinerBehavior):
 
     def reassign(self, assigned_tx_ids: list[str]) -> None:
         self._assigned = list(assigned_tx_ids)
+        self._noted_confirmed = 0
 
     def pick_transactions(self, mempool: Mempool, capacity: int) -> list[Transaction]:
         picked = mempool.select_ids(self._assigned)
         return picked[:capacity]
+
+    def note_confirmed(self, confirmed_tx_ids: set[str]) -> None:
+        """Drop already-confirmed ids from the assigned working set.
+
+        Gated: small sets are left alone, and the O(assigned) rebuild
+        only runs after the local confirmed set grew by at least half
+        the current assignment since the last compaction — so a run
+        scans each assignment O(log n) times total, not once per forge.
+        Confirmed transactions are out of every mempool (reverted ones
+        are never re-pooled), so ``select_ids`` can never pick them
+        again and the compaction is behavior-invariant.
+        """
+        assigned = self._assigned
+        if len(assigned) < self._COMPACT_MIN:
+            return
+        if len(confirmed_tx_ids) - self._noted_confirmed < len(assigned) // 2:
+            return
+        self._noted_confirmed = len(confirmed_tx_ids)
+        kept = [tx_id for tx_id in assigned if tx_id not in confirmed_tx_ids]
+        if len(kept) != len(assigned):
+            self._assigned = kept
 
 
 class ShardLiarBehavior(MinerBehavior):

@@ -1,0 +1,60 @@
+"""A growable bitset over non-negative integer indexes.
+
+The protocol layers track "which workload indexes have we already seen"
+sets that previously lived in ``set[int]`` objects — ~80 bytes per
+member, unbounded over a streaming campaign. Dense workload indexes fit
+a bitmap at one bit each, so a million-transaction run pays ~125 KB
+instead of tens of megabytes, with O(1) membership and insert.
+"""
+
+from __future__ import annotations
+
+
+class Bitset:
+    """Dense membership set for indexes ``0..n`` backed by a bytearray."""
+
+    __slots__ = ("_bits", "_count")
+
+    def __init__(self, size_hint: int = 0) -> None:
+        if size_hint < 0:
+            raise ValueError(f"size_hint cannot be negative: {size_hint}")
+        self._bits = bytearray((size_hint + 7) // 8)
+        self._count = 0
+
+    def add(self, index: int) -> bool:
+        """Set ``index``; True when it was newly added."""
+        if index < 0:
+            raise ValueError(f"bitset indexes are non-negative: {index}")
+        byte = index >> 3
+        bits = self._bits
+        if byte >= len(bits):
+            bits.extend(b"\x00" * (byte + 1 - len(bits)))
+        mask = 1 << (index & 7)
+        if bits[byte] & mask:
+            return False
+        bits[byte] |= mask
+        self._count += 1
+        return True
+
+    def __contains__(self, index: int) -> bool:
+        if index < 0:
+            return False
+        byte = index >> 3
+        if byte >= len(self._bits):
+            return False
+        return bool(self._bits[byte] & (1 << (index & 7)))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self):
+        """Yield set indexes in ascending order."""
+        for byte, value in enumerate(self._bits):
+            if not value:
+                continue
+            for bit in range(8):
+                if value & (1 << bit):
+                    yield (byte << 3) | bit
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bitset(count={self._count}, capacity={len(self._bits) * 8})"

@@ -11,6 +11,14 @@ from repro.errors import ConfigError, NetworkError
 from repro.net.events import Scheduler
 from repro.net.messages import Message, MessageKind
 
+try:  # pragma: no cover - exercised indirectly via sample_many
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
+
+#: Below this fan-out the numpy round trip costs more than it saves.
+_NUMPY_BATCH_MIN = 32
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.model import FaultModel
     from repro.net.node import Node
@@ -56,13 +64,24 @@ class LatencyModel:
         ``count`` successive :meth:`sample` calls (and nothing at all
         when jitter is zero), so fan-out fast paths that pre-sample a
         latency vector stay bit-identical to per-send sampling.
+
+        Large fan-outs vectorize the multiply-add over the raw uniforms
+        with numpy when it is available. ``rng.uniform(0.0, j)`` is
+        exactly ``0.0 + j * rng.random()`` in CPython, and IEEE-754
+        multiply/add are elementwise identical in numpy, so the batched
+        path is bit-equal to the scalar one (a pinned test property).
+        Only ``*`` and ``+`` are allowed here — numpy transcendentals
+        (``np.log`` etc.) do NOT match ``math``'s libm bit-for-bit.
         """
         base = self.base_seconds
         jitter = self.jitter_seconds
         if jitter <= 0:
             return [base] * count
-        uniform = rng.uniform
-        return [base + uniform(0.0, jitter) for __ in range(count)]
+        draw = rng.random
+        uniforms = [draw() for __ in range(count)]
+        if _np is not None and count >= _NUMPY_BATCH_MIN:
+            return (base + jitter * _np.asarray(uniforms)).tolist()
+        return [base + jitter * u for u in uniforms]
 
 
 class Network:

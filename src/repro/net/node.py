@@ -118,12 +118,13 @@ class FullNode(Node):
         selection_replay: object | None = None,
         packet_commitment: str | None = None,
         fast_paths: bool = True,
+        mempool_limit: int | None = None,
     ) -> None:
         self.identity = identity
         self.shard_id = shard_id
         self._behavior_overridden = behavior is not None
         self.behavior = behavior or HonestBehavior()
-        self.mempool = Mempool(fee_cache=fast_paths)
+        self.mempool = Mempool(fee_cache=fast_paths, limit=mempool_limit)
         self.ledger = Ledger(shard_id=shard_id)
         self.state = state if state is not None else WorldState()
         # Pre-genesis snapshot: the base for rebuilding the flat state
@@ -459,7 +460,16 @@ class FullNode(Node):
         if fork_parent is not None:
             parent_hash = fork_parent
             height = self.ledger.block(fork_parent).header.height + 1
-        speculative = self.state.snapshot()
+        # Copy-on-write overlay: the speculation touches O(packed)
+        # accounts, so deep-copying the whole world per forge (the old
+        # `snapshot()` call) is pure waste — and at streaming scales it
+        # dominated the run. The legacy engine keeps the full snapshot
+        # as the differential oracle.
+        speculative = (
+            self.state.speculative_view()
+            if self._fast_paths
+            else self.state.snapshot()
+        )
         packable: list[Transaction] = []
         progress = True
         while progress and len(packable) < capacity and candidates:

@@ -112,10 +112,7 @@ def digest_of_jsonl(path: str | pathlib.Path) -> str:
     return hasher.hexdigest()
 
 
-def _phase_table(records: "list[TraceRecord]") -> list[str]:
-    tally: _TallyCounter = _TallyCounter(
-        (r.phase or "-", r.name) for r in records
-    )
+def _phase_table(tally: _TallyCounter) -> list[str]:
     if not tally:
         return ["  (no records)"]
     width = max(len(phase) for phase, __ in tally)
@@ -145,17 +142,27 @@ def _shard_timeline(records: "list[TraceRecord]") -> list[str]:
 
 
 def render_trace_summary(tracer: "Tracer", title: str = "trace") -> str:
-    """An ``experiments.report``-style per-phase breakdown of one trace."""
-    records = tracer.records
+    """An ``experiments.report``-style per-phase breakdown of one trace.
+
+    Safe in sink mode: counts come from the tracer's incremental tally,
+    and the record-walking shard timeline degrades to a pointer at the
+    sink file once records have been spilled.
+    """
     parts = [
-        f"[{title}] {len(records)} records, digest {tracer.digest()[:16]}…",
+        f"[{title}] {len(tracer)} records, digest {tracer.digest()[:16]}…",
         "per-phase record counts:",
-        *_phase_table(records),
+        *_phase_table(tracer.phase_name_counts()),
     ]
-    timeline = _shard_timeline(records)
-    if timeline:
-        parts.append("per-shard confirmation timeline:")
-        parts.extend(timeline)
+    if tracer.spilled:
+        parts.append(
+            f"per-shard confirmation timeline: (records streamed to "
+            f"{tracer.sink_path}; inspect the sink file)"
+        )
+    else:
+        timeline = _shard_timeline(tracer.records)
+        if timeline:
+            parts.append("per-shard confirmation timeline:")
+            parts.extend(timeline)
     parts.append("metrics:")
     parts.append(tracer.metrics.render())
     cache_lines = _cache_lines()

@@ -13,6 +13,18 @@ rounds, executor fan-outs, injected faults). The determinism contract:
   exclude — they are allowed to differ between otherwise identical
   runs.
 
+The digest is **rolling**: every emitted record feeds an incremental
+SHA-256 (byte-identical to hashing the full record list after the
+fact), so a digest never requires the records to still be resident.
+That is what lets ``sink=`` mode spill records to a JSONL file in
+bounded-size batches during million-transaction campaigns instead of
+buffering whole runs — :attr:`Tracer.records` then holds only the
+unflushed tail, while ``len(tracer)``, :meth:`count` and
+:meth:`digest` keep reporting whole-run totals. APIs that genuinely
+need every record (:meth:`records_named`, :meth:`to_jsonl`) refuse
+loudly once records have been spilled rather than silently answering
+from the tail.
+
 Tracing is off by default and must cost near nothing when off: every
 instrumentation site guards with a single ``tracer is None`` check (or
 one :func:`get_tracer` call per operation, not per inner-loop step).
@@ -25,18 +37,23 @@ the environment.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import os
 import pathlib
 import time as _walltime
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.observe.metrics import MetricsRegistry
 
 #: The environment switch: any value other than "" / "0" enables tracing.
 TRACE_ENV = "REPRO_TRACE"
+
+#: Sink mode keeps at most this many unflushed records resident.
+DEFAULT_SINK_BUFFER = 10_000
 
 
 def tracing_enabled() -> bool:
@@ -97,18 +114,37 @@ class Tracer:
     digest baseline — are unchanged; lineage events refer to
     transactions by their *workload index*, never by id, so two
     same-seed runs in different processes still digest identically.
+
+    ``sink`` switches the tracer to streaming mode: records are spilled
+    to the given JSONL path (wall sidecars included) whenever more than
+    ``buffer_limit`` are resident, bounding memory for arbitrarily long
+    runs. Digests, ``len``, and :meth:`count` are unaffected — they are
+    maintained incrementally. Call :meth:`finish_sink` when the run
+    ends to flush the tail and close the file.
     """
 
     def __init__(
         self,
         clock: Callable[[], float] | None = None,
         lineage: bool = False,
+        sink: str | pathlib.Path | None = None,
+        buffer_limit: int = DEFAULT_SINK_BUFFER,
     ) -> None:
+        if buffer_limit <= 0:
+            raise ConfigError(f"buffer_limit must be positive: got {buffer_limit}")
         self.records: list[TraceRecord] = []
         self.metrics = MetricsRegistry()
         self.lineage = bool(lineage)
         self._clock: Callable[[], float] | None = clock
         self._seq = 0
+        # Rolling digest + per-(name, phase) tally: maintained on every
+        # emission so no inspection API needs the record list.
+        self._hasher = hashlib.sha256()
+        self._tally: Counter[tuple[str, str | None]] = Counter()
+        self._sink_path = pathlib.Path(sink) if sink is not None else None
+        self._sink_handle = None
+        self._buffer_limit = int(buffer_limit)
+        self._spilled = 0
 
     # ------------------------------------------------------------------
     # emission
@@ -144,8 +180,32 @@ class Tracer:
             wall=wall or {},
         )
         self._seq += 1
-        self.records.append(record)
+        self._ingest(record)
         return record
+
+    def _ingest(self, record: TraceRecord) -> None:
+        """Fold one record into the rolling digest/tally and buffer it."""
+        self._hasher.update(record.to_json(include_wall=False).encode())
+        self._hasher.update(b"\n")
+        self._tally[(record.name, record.phase)] += 1
+        self.records.append(record)
+        if (
+            self._sink_path is not None
+            and len(self.records) >= self._buffer_limit
+        ):
+            self._flush_to_sink()
+
+    def absorb(self, records: list[TraceRecord]) -> None:
+        """Append pre-sequenced records (a merged shard-parallel stream).
+
+        The records must continue this tracer's ``seq`` numbering (as
+        :func:`~repro.observe.export.merge_tagged_records` guarantees
+        with ``base_seq=tracer._seq``); each one feeds the rolling
+        digest exactly as if :meth:`event` had emitted it.
+        """
+        for record in records:
+            self._ingest(record)
+        self._seq += len(records)
 
     @contextlib.contextmanager
     def span(
@@ -182,30 +242,93 @@ class Tracer:
             )
 
     # ------------------------------------------------------------------
+    # the streaming sink
+    # ------------------------------------------------------------------
+    @property
+    def sink_path(self) -> pathlib.Path | None:
+        """Where spilled records go, or ``None`` outside sink mode."""
+        return self._sink_path
+
+    @property
+    def spilled(self) -> int:
+        """How many records have left the buffer for the sink file."""
+        return self._spilled
+
+    def _flush_to_sink(self) -> None:
+        assert self._sink_path is not None
+        if self._sink_handle is None:
+            self._sink_handle = self._sink_path.open("w", encoding="utf-8")
+        handle = self._sink_handle
+        for record in self.records:
+            handle.write(record.to_json(include_wall=True) + "\n")
+        self._spilled += len(self.records)
+        self.records.clear()
+
+    def finish_sink(self) -> pathlib.Path:
+        """Flush the buffered tail and close the sink file.
+
+        Idempotent per run end; returns the sink path. Raises
+        :class:`~repro.errors.ConfigError` when the tracer has no sink —
+        callers must not silently drop a trace they promised to write.
+        """
+        if self._sink_path is None:
+            raise ConfigError("finish_sink() on a tracer without a sink")
+        self._flush_to_sink()
+        if self._sink_handle is not None:
+            self._sink_handle.close()
+            self._sink_handle = None
+        return self._sink_path
+
+    def _require_resident(self, api: str) -> None:
+        if self._spilled:
+            raise SimulationError(
+                f"{api} needs every record, but {self._spilled} of "
+                f"{len(self)} were already streamed to {self._sink_path} — "
+                f"read the sink file instead"
+            )
+
+    # ------------------------------------------------------------------
     # inspection / export
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.records)
+        """Total records emitted — spilled records still count."""
+        return self._spilled + len(self.records)
 
     def records_named(self, name: str) -> list[TraceRecord]:
+        self._require_resident("records_named()")
         return [r for r in self.records if r.name == name]
 
     def count(self, name: str | None = None, phase: str | None = None) -> int:
-        """How many records match the given name and/or phase."""
+        """How many records match the given name and/or phase.
+
+        Served from the incremental tally, so the answer covers spilled
+        records too.
+        """
         return sum(
-            1
-            for r in self.records
-            if (name is None or r.name == name)
-            and (phase is None or r.phase == phase)
+            tallied
+            for (r_name, r_phase), tallied in self._tally.items()
+            if (name is None or r_name == name)
+            and (phase is None or r_phase == phase)
         )
 
-    def digest(self) -> str:
-        """SHA-256 over the identity projection of every record."""
-        from repro.observe.export import trace_digest
+    def phase_name_counts(self) -> Counter:
+        """``(phase or "-", name) -> count`` over every emitted record."""
+        counts: Counter = Counter()
+        for (name, phase), tallied in self._tally.items():
+            counts[(phase or "-", name)] += tallied
+        return counts
 
-        return trace_digest(self.records)
+    def digest(self) -> str:
+        """SHA-256 over the identity projection of every record.
+
+        Rolling: computed from the incremental hasher, byte-identical
+        to :func:`repro.observe.export.trace_digest` over the full
+        record stream (pinned by test).
+        """
+        return self._hasher.copy().hexdigest()
 
     def to_jsonl(self, include_wall: bool = True) -> str:
+        self._require_resident("to_jsonl()")
         lines = [r.to_json(include_wall=include_wall) for r in self.records]
         return "\n".join(lines) + ("\n" if lines else "")
 
@@ -213,6 +336,7 @@ class Tracer:
         self, path: str | pathlib.Path, include_wall: bool = True
     ) -> pathlib.Path:
         """Persist the trace as one JSON object per line."""
+        self._require_resident("write_jsonl()")
         target = pathlib.Path(path)
         target.write_text(self.to_jsonl(include_wall=include_wall))
         return target

@@ -90,11 +90,13 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import heapq
+import itertools
 import math
 import os
 from collections import defaultdict
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.core.bitset import Bitset
 from repro.faults.model import FaultModel
 from repro.faults.plan import FaultStats
 from repro.net.events import Scheduler
@@ -137,6 +139,11 @@ class TaggedTracer(Tracer):
     pure sort key (it never alters record content) that reconstructs
     the serial engine's emission order when all segments are merged by
     :func:`repro.observe.merge_tagged_records`.
+
+    Records live *only* in :attr:`tagged`: the base class's buffer,
+    rolling digest and tally are bypassed (``seq`` is renumbered and the
+    digest recomputed by the coordinator at merge time), so segments are
+    retained exactly once.
     """
 
     def __init__(self, lineage: bool = False) -> None:
@@ -173,6 +180,11 @@ class TaggedTracer(Tracer):
         """How many records the current context has emitted so far."""
         return self._tag_i
 
+    def _ingest(self, record) -> None:  # type: ignore[override]
+        # Segment records bypass the base buffer/digest/tally: the
+        # coordinator renumbers and re-digests them after the merge.
+        pass
+
     def event(self, name: str, **kwargs):  # type: ignore[override]
         record = super().event(name, **kwargs)
         tag = (
@@ -185,6 +197,12 @@ class TaggedTracer(Tracer):
         self._tag_i += 1
         self.tagged.append((tag, record))
         return record
+
+    def drain_tagged(self) -> list:
+        """Hand off (and forget) every tagged record emitted so far."""
+        drained = self.tagged
+        self.tagged = []
+        return drained
 
 
 # ----------------------------------------------------------------------
@@ -226,6 +244,7 @@ class WindowReport:
     stats_entries: list[tuple]  # see ShardLoop._post_event
     mines: list[tuple]  # (time, ordinal, block)
     tagged: list[tuple]  # (tag, TraceRecord) pairs
+    empties: list[tuple]  # (time, ordinal, empty) pool-drain transitions
 
 
 @dataclasses.dataclass
@@ -238,6 +257,12 @@ class LoopFinal:
     compactions: int
     metrics: object | None
     network_counters: tuple
+    # Mempool-bound displacements. In paced streaming runs these happen
+    # exclusively at injection directives (coordinator-synchronous, all
+    # pre-stop), so the sum is exact; with a bounded mempool on the
+    # faulty t=0 path a final-window overrun could overcount, the same
+    # caveat metrics counters carry.
+    evictions: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -316,6 +341,16 @@ class ShardLoop:
         self._tx_index = sim._tx_index
         self._lineage = sim._lineage
         self.target = target
+        # Paced streaming state. The classifier closure inside each node
+        # captured *this process's* copy of the simulation call graph
+        # (object identity survives the fork), so injected transactions
+        # must be observed into it here, worker-side, before any node
+        # can classify their sender (observe is idempotent, so the
+        # inline backend observing twice — coordinator and loop — is
+        # harmless and deterministic).
+        self._streaming = sim._stream is not None
+        self._callgraph = sim._callgraph
+        self._initial_balance = config.initial_balance
 
         # Lineage hooks: replace the serial engine's (which point at the
         # main tracer and scheduler) with worker-local equivalents. A
@@ -325,7 +360,9 @@ class ShardLoop:
             for node in nodes:
                 node.on_pooled = self._note_pooled
                 node.on_rejected = self._note_rejected
-        self._seen_txs: set[int] = set()
+        self._seen_txs = Bitset(
+            len(self._transactions) if self._lineage else 0
+        )
 
         # Rolling confirmation state (mirrors the serial stop-condition
         # cache and lineage probe, restricted to this shard).
@@ -342,7 +379,13 @@ class ShardLoop:
         self._confirms: list[tuple] = []
         self._stats_entries: list[tuple] = []
         self._mines: list[tuple] = []
-        self._tagged_mark = 0
+        self._empties: list[tuple] = []
+        # Pool-drain tracking (streaming stop condition). Within a
+        # window pools only shrink (gossip is off in paced mode, blocks
+        # only remove), so at most one False→True transition per window;
+        # injection directives refill between windows and reset the flag
+        # without journaling (the coordinator injected, it knows).
+        self._pools_empty = all(len(node.mempool) == 0 for node in nodes)
 
         # Current-event capture coordinates.
         self._event_time = 0.0
@@ -428,6 +471,7 @@ class ShardLoop:
         )
         node.behavior.observe_forged(block)
         node.adopt_block(block)
+        node.behavior.note_confirmed(node.ledger.confirmed_tx_ids())
         # Rewards are credited by the coordinator from this journal (the
         # cutoff filter must be able to drop post-stop blocks).
         self._mines.append((self.scheduler.now, self._event_ordinal, block))
@@ -519,6 +563,11 @@ class ShardLoop:
                 self.done = done
                 self._transitions.append((time, ordinal, done))
             self._union = union
+        if self._streaming:
+            empty = all(len(n.mempool) == 0 for n in self.nodes)
+            if empty != self._pools_empty:
+                self._pools_empty = empty
+                self._empties.append((time, ordinal, empty))
         self._journal_stats(time, ordinal, node, directive=False)
 
     def _journal_stats(self, time, ordinal, node, directive: bool) -> None:
@@ -582,18 +631,16 @@ class ShardLoop:
             stats_entries=self._stats_entries,
             mines=self._mines,
             tagged=(
-                self.tracer.tagged[self._tagged_mark:]
-                if self.tracer is not None
-                else []
+                self.tracer.drain_tagged() if self.tracer is not None else []
             ),
+            empties=self._empties,
         )
         self._intents = []
         self._transitions = []
         self._confirms = []
         self._stats_entries = []
         self._mines = []
-        if self.tracer is not None:
-            self._tagged_mark = len(self.tracer.tagged)
+        self._empties = []
         return report
 
     # -- directives (coordinator-synchronous, between windows) ----------
@@ -605,6 +652,32 @@ class ShardLoop:
                     self.tracer.set_context(0.0, _LANE_COORD, rank, tx_idx)
                 for node in self.nodes:
                     node.on_transaction(tx)
+
+    def inject_batch(self, rank: int, time: float, txs: list) -> None:
+        """Paced streaming hand-off of one batch, pre-routed to this
+        shard by the coordinator's classifier. Mirrors the serial
+        ``_inject_batch`` exactly: observe the call edge, lazily
+        provision the sender, pool on every shard node."""
+        balance = self._initial_balance
+        with self._scope():
+            for tx_idx, tx in enumerate(txs):
+                if self.tracer is not None:
+                    self.tracer.set_context(time, _LANE_COORD, rank, tx_idx)
+                self._callgraph.observe(tx)
+                for node in self.nodes:
+                    state = node.state
+                    if not state.has_account(tx.sender):
+                        state.create_account(tx.sender, balance=balance)
+                    node.on_transaction(tx)
+        if txs:
+            self._pools_empty = all(
+                len(node.mempool) == 0 for node in self.nodes
+            )
+
+    def pool_load(self) -> int:
+        """Highest mempool occupancy across this shard's nodes (the
+        coordinator's backpressure probe; exact between windows)."""
+        return max((len(node.mempool) for node in self.nodes), default=0)
 
     def install_packet(self, rank: int, time: float) -> None:
         """The leader (who lives in this shard) installs the canonical
@@ -655,6 +728,7 @@ class ShardLoop:
                 dict(net.per_shard_messages),
                 dict(net.per_kind_messages),
             ),
+            evictions=sum(node.mempool.evictions for node in self.nodes),
         )
 
 
@@ -679,6 +753,15 @@ class InlineDriver:
     def inject_clean(self, rank: int) -> None:
         for shard in self._order:
             self._loops[shard].inject_clean(rank)
+
+    def inject_batches(
+        self, rank: int, time: float, per_shard: dict[int, list]
+    ) -> None:
+        for shard in sorted(per_shard):
+            self._loops[shard].inject_batch(rank, time, per_shard[shard])
+
+    def pool_loads(self) -> dict[int, int]:
+        return {s: loop.pool_load() for s, loop in self._loops.items()}
 
     def run_windows(
         self, bound: float, deliveries: dict[int, list], due: set[int]
@@ -724,6 +807,13 @@ def _serve_shards(conn, loops: dict[int, ShardLoop]) -> None:
                     for shard in sorted(loops):
                         loops[shard].inject_clean(msg[1])
                     result = None
+                elif op == "inject_batches":
+                    __, rank, time, per_shard = msg
+                    for shard in sorted(per_shard):
+                        loops[shard].inject_batch(rank, time, per_shard[shard])
+                    result = None
+                elif op == "pool_loads":
+                    result = {s: loop.pool_load() for s, loop in loops.items()}
                 elif op == "window":
                     __, bound, deliveries, due = msg
                     result = {
@@ -811,6 +901,26 @@ class ForkDriver:
 
     def inject_clean(self, rank: int) -> None:
         self._call_all(("inject", rank))
+
+    def inject_batches(
+        self, rank: int, time: float, per_shard: dict[int, list]
+    ) -> None:
+        by_worker: dict[int, dict[int, list]] = {}
+        for shard, txs in per_shard.items():
+            by_worker.setdefault(self._owners[shard], {})[shard] = txs
+        workers = sorted(by_worker)
+        for worker in workers:
+            self._conns[worker].send(
+                ("inject_batches", rank, time, by_worker[worker])
+            )
+        for worker in workers:
+            self._recv(self._conns[worker])
+
+    def pool_loads(self) -> dict[int, int]:
+        merged: dict[int, int] = {}
+        for part in self._call_all(("pool_loads",)):
+            merged.update(part)
+        return merged
 
     def run_windows(
         self, bound: float, deliveries: dict[int, list], due: set[int]
@@ -908,6 +1018,11 @@ class _ShardParallelRun:
         }
         global_node_ids = list(sim._network.node_ids)
 
+        # Paced streaming runs have no materialized workload: targets
+        # stay empty (the done-set stop condition is replaced by the
+        # pool-drain reconstruction below) and injection happens on the
+        # coordinator calendar in the serial tick cadence.
+        self._streaming = sim._stream is not None
         classifier = sim._classifier()
         targets: dict[int, set[str]] = {shard: set() for shard in self.shard_ids}
         for tx in sim._transactions:
@@ -992,6 +1107,15 @@ class _ShardParallelRun:
             shard: self.loops[shard].done for shard in self.shard_ids
         }
 
+        # Streaming stop reconstruction: once the stream is exhausted
+        # (`inject.done` tick) the coordinator snapshots which shards
+        # still hold pooled transactions and waits for their journaled
+        # pool-drain transitions; the event completing the last drain is
+        # the serial engine's stopping event.
+        self._await_empty: dict[int, bool] | None = None
+        self._empty_pending: list[tuple] = []
+        self._stream_stop: tuple | None = None
+
         # Accumulated journals/segments (coordinator-side copies; the
         # fork backend ships them in window reports).
         self._confirms: dict[int, list] = {shard: [] for shard in self.shard_ids}
@@ -1031,11 +1155,25 @@ class _ShardParallelRun:
                 "workload.inject",
                 time=0.0,
                 phase="inject",
-                txs=len(sim._transactions),
+                txs=(
+                    sim._stream.total
+                    if sim._stream is not None
+                    else len(sim._transactions)
+                ),
                 miners=len(sim._miners),
                 faults_active=sim._faults_active,
                 unified=sim._unified,
             )
+        if self._streaming:
+            # Paced streaming: mirror _begin_streaming_injection — the
+            # first tick lands at t=0 via the calendar (t_cal=0 always
+            # precedes the first worker event), later ticks re-arm.
+            sim._inject_iter = iter(sim._stream)
+            sim._injected = 0
+            sim._inject_done = False
+            sim._inject_classifier = sim._classifier()
+            self._push_calendar(0.0, "inject", None)
+            return
         if sim._faults_active:
             # Serial path: each tx is announced by its (off-network)
             # user through the lossy network. Replay centrally so the
@@ -1109,6 +1247,79 @@ class _ShardParallelRun:
             self._leader_timeout_check(time)
         elif kind == "sweep":
             self._retransmit_sweep(time)
+        elif kind == "inject":
+            self._inject_stream_tick(time)
+
+    def _inject_stream_tick(self, time: float) -> None:
+        """One paced injection step, the serial ``_inject_tick`` verbatim:
+        backpressure probe, one pre-classified batch fanned out to the
+        shard loops, identical ``inject.*`` trace records."""
+        from repro.errors import SimulationError
+
+        sim = self.sim
+        config = self.config
+        limit = config.mempool_limit
+        if limit is not None:
+            load = max(self.driver.pool_loads().values(), default=0)
+            if load >= limit:
+                if self.traced:
+                    self._emit(
+                        "inject.defer",
+                        time=time,
+                        phase="inject",
+                        pool_load=load,
+                        injected=sim._injected,
+                    )
+                self._push_calendar(time + config.inject_interval, "inject", None)
+                return
+        batch = list(itertools.islice(sim._inject_iter, config.inject_batch))
+        if batch:
+            per_shard: dict[int, list] = {}
+            for tx in batch:
+                sim._callgraph.observe(tx)
+                per_shard.setdefault(sim._inject_classifier(tx), []).append(tx)
+            # Transactions routed to unpopulated shards vanish exactly as
+            # they do serially (no node of that shard exists to pool them).
+            deliverable = {
+                shard: txs
+                for shard, txs in per_shard.items()
+                if shard in self.loops
+            }
+            if deliverable:
+                self.driver.inject_batches(self._next_rank(), time, deliverable)
+            sim._injected += len(batch)
+            if self.traced:
+                self._emit(
+                    "inject.batch",
+                    time=time,
+                    phase="inject",
+                    txs=len(batch),
+                    injected=sim._injected,
+                )
+        if len(batch) < config.inject_batch:
+            sim._inject_done = True
+            if sim._injected != sim._stream.total:
+                raise SimulationError(
+                    f"stream {sim._stream.description!r} yielded "
+                    f"{sim._injected} transactions but declared "
+                    f"{sim._stream.total}"
+                )
+            if self.traced:
+                self._emit(
+                    "inject.done",
+                    time=time,
+                    phase="inject",
+                    injected=sim._injected,
+                )
+            loads = self.driver.pool_loads()
+            self._await_empty = {s: load == 0 for s, load in loads.items()}
+            self._empty_pending = []
+            if all(self._await_empty.values()):
+                # Pools already drained: the done tick itself is the
+                # serial stopping event.
+                self._stream_stop = (time, None)
+            return
+        self._push_calendar(time + config.inject_interval, "inject", None)
 
     def _broadcast_packet(self, time: float) -> None:
         sim = self.sim
@@ -1252,7 +1463,7 @@ class _ShardParallelRun:
 
         t_star: float
         completing: tuple[int, int] | None = None
-        if stop_on_drain and all(self._done.values()):
+        if stop_on_drain and not self._streaming and all(self._done.values()):
             # Nothing to confirm: the serial engine's stop condition
             # fires before the first event.
             t_star = 0.0
@@ -1273,6 +1484,12 @@ class _ShardParallelRun:
                 if t_cal <= t1:
                     time, __, kind, payload = heapq.heappop(self._calendar)
                     self._run_calendar_event(time, kind, payload)
+                    if stop_on_drain and self._stream_stop is not None:
+                        # The inject.done tick found every pool drained:
+                        # it is itself the stopping event, and no worker
+                        # ran past it (windows were bounded by t_cal).
+                        t_star, completing = self._stream_stop
+                        break
                     continue
                 bound = min(t1 + base, t_cal, bound_cap)
                 due = {
@@ -1301,6 +1518,30 @@ class _ShardParallelRun:
                     intents.extend(report.intents)
                     for time, ordinal, done in report.transitions:
                         transitions.append((time, shard, ordinal, done))
+                    for time, ordinal, empty in report.empties:
+                        if empty:
+                            self._empty_pending.append((time, shard, ordinal))
+                if stop_on_drain and self._await_empty is not None:
+                    # Streaming stop: fold pool-drain transitions (all
+                    # necessarily after the inject.done tick — earlier
+                    # windows were bounded by it) in global time order;
+                    # the transition completing the set is the serial
+                    # stopping event.
+                    self._empty_pending.sort(key=lambda t: (t[0], t[1]))
+                    stopped = False
+                    for time, shard, ordinal in self._empty_pending:
+                        self._await_empty[shard] = True
+                        if all(self._await_empty.values()):
+                            t_star = time
+                            completing = (shard, ordinal)
+                            stopped = True
+                            break
+                    self._empty_pending = []
+                    if stopped:
+                        self._replay_intents(
+                            intents, cutoff=(t_star, completing)
+                        )
+                        break
                 if stop_on_drain and transitions:
                     transitions.sort(key=lambda t: (t[0], t[1]))
                     stopped = False
@@ -1395,6 +1636,7 @@ class _ShardParallelRun:
 
         events_fired = self._calendar_fired + sum(f.events_fired for f in finals)
         compactions = sum(f.compactions for f in finals)
+        evicted = sum(f.evictions for f in finals)
 
         tracer = sim._tracer
         if tracer is not None:
@@ -1409,8 +1651,7 @@ class _ShardParallelRun:
                     ]
                 )
             merged = merge_tagged_records(segments, base_seq=tracer._seq)
-            tracer.records.extend(merged)
-            tracer._seq += len(merged)
+            tracer.absorb(merged)
             tracer.metrics.merge(self.tracer.metrics)
             for final in finals:
                 if final.metrics is not None:
@@ -1445,6 +1686,8 @@ class _ShardParallelRun:
             tracer.metrics.gauge("protocol.confirmed").set(len(confirmed))
             tracer.metrics.gauge("protocol.events_fired").set(events_fired)
             tracer.metrics.gauge("protocol.queue_compactions").set(compactions)
+            if evicted:
+                tracer.metrics.gauge("protocol.txs_evicted").set(evicted)
 
         return ProtocolResult(
             duration=t_star,
@@ -1458,6 +1701,7 @@ class _ShardParallelRun:
             fallbacks=stats.fallbacks,
             equivocations_detected=stats.equivocations_detected,
             fault_stats=stats,
+            evicted=evicted,
             trace=tracer,
         )
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import itertools
 import random
 from dataclasses import dataclass, field
 
@@ -24,6 +25,7 @@ from repro.chain.transaction import Transaction
 from repro.consensus.miner import MinerBehavior, MinerIdentity
 from repro.consensus.pow import MiningProcess, PoWParameters
 from repro.consensus.rewards import RewardLedger
+from repro.core.bitset import Bitset
 from repro.core.miner_assignment import MinerAssignment, assign_miners
 from repro.core.shard_formation import ShardMap, form_shards
 from repro.errors import ConfigError, SimulationError
@@ -34,6 +36,7 @@ from repro.net.messages import Message, MessageKind
 from repro.net.network import LatencyModel, Network
 from repro.net.node import FullNode
 from repro.observe import Tracer, resolve_tracer, use_tracer
+from repro.workloads.generators import MAX_MATERIALIZED_TXS, TxStream
 
 #: Mixed into the run seed so the fault RNG stream never mirrors the
 #: network's latency stream (both are seeded from ``config.seed``).
@@ -99,6 +102,23 @@ class ProtocolConfig:
         runs every shard loop in-process (always available); > 1 forks
         that many workers on platforms with ``os.fork``. Ignored by the
         other engines.
+    inject_batch:
+        Paced streaming injection: how many transactions each injection
+        tick hands the shard's nodes. ``None`` (default) keeps the
+        paper's inject-everything-at-t=0 behavior; setting it requires
+        the workload to be a :class:`~repro.workloads.TxStream` and is
+        incompatible with the legacy engine and active fault plans
+        (both raise a :class:`ConfigError` instead of silently running
+        a different experiment).
+    inject_interval:
+        Simulated seconds between paced injection ticks.
+    mempool_limit:
+        Per-node mempool bound. A full pool deterministically evicts
+        its lowest-fee resident to admit a better-paying arrival (ties
+        broken on tx id) and counts the displacement in
+        :attr:`ProtocolResult.evicted`. Also the backpressure signal:
+        a paced injection tick defers (without consuming the stream)
+        while any node's pool is at the limit. ``None`` = unbounded.
     """
 
     pow_params: PoWParameters = field(default_factory=PoWParameters.one_block_per_minute)
@@ -116,6 +136,9 @@ class ProtocolConfig:
     engine: str = "fast"
     run_to_horizon: bool = False
     shard_workers: int | None = None
+    inject_batch: int | None = None
+    inject_interval: float = 1.0
+    mempool_limit: int | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ("fast", "legacy", "shard_parallel"):
@@ -127,6 +150,34 @@ class ProtocolConfig:
             raise ConfigError(
                 f"shard_workers must be at least 1: {self.shard_workers}"
             )
+        if self.inject_batch is not None and self.inject_batch < 1:
+            raise ConfigError(
+                f"inject_batch must be at least 1: {self.inject_batch}"
+            )
+        if self.inject_interval <= 0:
+            raise ConfigError(
+                f"inject_interval must be positive: {self.inject_interval}"
+            )
+        if self.mempool_limit is not None and self.mempool_limit < 1:
+            raise ConfigError(
+                f"mempool_limit must be at least 1: {self.mempool_limit}"
+            )
+        if self.inject_batch is not None:
+            if self.engine == "legacy":
+                raise ConfigError(
+                    "paced streaming injection (inject_batch=) is not "
+                    "supported by the legacy engine — it exists to freeze "
+                    "the pre-optimization t=0 path; use 'fast' or "
+                    "'shard_parallel'"
+                )
+            if self.fault_plan is not None and self.fault_plan.is_active:
+                raise ConfigError(
+                    "paced streaming injection (inject_batch=) cannot run "
+                    "under an active fault plan: retransmission sweeps "
+                    "re-announce the whole workload, which defeats "
+                    "bounded-memory streaming — run faults with a "
+                    "materialized workload"
+                )
 
 
 @dataclass
@@ -146,6 +197,10 @@ class ProtocolResult:
     fallbacks: int = 0
     equivocations_detected: int = 0
     fault_stats: FaultStats = field(default_factory=FaultStats)
+    # Mempool-bound displacements summed over all nodes (0 when
+    # ``mempool_limit`` is unset). Deterministic: the eviction rule is
+    # a total order on (fee, tx_id), so every engine agrees.
+    evicted: int = 0
     # The run's trace when observability was enabled (None otherwise).
     trace: Tracer | None = None
 
@@ -159,7 +214,7 @@ class ProtocolSimulation:
     def __init__(
         self,
         miners: list[MinerIdentity],
-        transactions: list[Transaction],
+        transactions: list[Transaction] | TxStream,
         config: ProtocolConfig | None = None,
         behaviors: dict[str, MinerBehavior] | None = None,
         assignment: MinerAssignment | None = None,
@@ -167,9 +222,38 @@ class ProtocolSimulation:
     ) -> None:
         if not miners:
             raise SimulationError("a protocol run needs miners")
-        if not transactions:
-            raise SimulationError("a protocol run needs transactions")
         self._config = config or ProtocolConfig()
+        paced = self._config.inject_batch is not None
+        self._stream: TxStream | None = None
+        if isinstance(transactions, TxStream):
+            if transactions.total <= 0:
+                raise SimulationError("a protocol run needs transactions")
+            if paced:
+                # Streaming mode: the workload is consumed lazily in
+                # paced batches; nothing below holds all transactions.
+                self._stream = transactions
+                transactions = []
+            else:
+                # Without pacing a stream is materialized for exact
+                # digest parity with list injection — loudly refused
+                # (WorkloadError) above MAX_MATERIALIZED_TXS.
+                transactions = transactions.materialize()
+        elif paced:
+            raise ConfigError(
+                "paced streaming injection (inject_batch=) needs a "
+                "TxStream workload; a materialized list is already in "
+                "memory, so pacing it would bound nothing"
+            )
+        if self._stream is None and not transactions:
+            raise SimulationError("a protocol run needs transactions")
+        if self._stream is None and len(transactions) > MAX_MATERIALIZED_TXS:
+            raise ConfigError(
+                f"refusing list-based injection of {len(transactions)} "
+                f"transactions (cap {MAX_MATERIALIZED_TXS}): every node "
+                "would hold the full workload in memory at t=0 — use a "
+                "streaming TxStream workload with paced injection "
+                "(inject_batch=)"
+            )
         self._miners = list(miners)
         self._transactions = list(transactions)
         self._behaviors = behaviors or {}
@@ -180,12 +264,31 @@ class ProtocolSimulation:
         # unchanged. Lineage refers to transactions by workload index,
         # never by id, so digests stay portable across processes.
         self._lineage = self._tracer is not None and self._tracer.lineage
+        if self._lineage and self._stream is not None:
+            raise ConfigError(
+                "per-transaction lineage tracing indexes the materialized "
+                "workload; it cannot run with paced streaming injection — "
+                "drop lineage or materialize the stream"
+            )
+        if unified and self._stream is not None:
+            raise ConfigError(
+                "parameter unification builds the leader packet from the "
+                "full workload up front; it cannot run with paced "
+                "streaming injection — materialize the stream"
+            )
         self._tx_index: dict[str, int] = (
             {tx.tx_id: i for i, tx in enumerate(self._transactions)}
             if self._lineage
             else {}
         )
-        self._seen_txs: set[int] = set()
+        # Dense bitmap, not set[int]: lineage runs at streaming scales
+        # previously held every seen index at ~80 bytes a member.
+        self._seen_txs = Bitset(
+            len(self._transactions) if self._lineage else 0
+        )
+        # Streaming-injection progress (only meaningful with a stream).
+        self._inject_done = False
+        self._injected = 0
 
         # Fault layer: a no-op plan must leave the run bit-identical, so
         # the model (with its dedicated RNG) only changes behavior when
@@ -203,8 +306,22 @@ class ProtocolSimulation:
         self._faults_active = plan is not None and plan.is_active
 
         # Shard topology from the workload; MaxShard-style global view for
-        # routing (every node classifies with the same call graph).
-        self._shard_map, self._callgraph = form_shards(transactions)
+        # routing (every node classifies with the same call graph). A
+        # streaming workload declares its contracts up front, so the map
+        # is built directly (same rule: ids 1..n by sorted address) and
+        # the call graph fills in as transactions are injected.
+        if self._stream is not None:
+            self._shard_map = ShardMap(
+                contract_to_shard={
+                    contract: shard_id
+                    for shard_id, contract in enumerate(
+                        sorted(self._stream.contracts), start=1
+                    )
+                }
+            )
+            self._callgraph = CallGraph()
+        else:
+            self._shard_map, self._callgraph = form_shards(self._transactions)
         fractions = self._fractions()
         self._assignment = assignment or assign_miners(
             self._miners, fractions, epoch_seed=f"protocol-{self._config.seed}"
@@ -264,12 +381,20 @@ class ProtocolSimulation:
             return contextlib.nullcontext()
         return use_tracer(self._tracer)
     def _fractions(self) -> dict[int, float]:
-        from repro.core.shard_formation import partition_transactions
+        if self._stream is not None:
+            # Declared per-shard counts stand in for the partition scan.
+            total = max(1, self._stream.total)
+            fractions = {
+                shard: 100.0 * count / total
+                for shard, count in sorted(self._stream.shard_counts.items())
+            }
+        else:
+            from repro.core.shard_formation import partition_transactions
 
-        partition = partition_transactions(
-            self._transactions, self._shard_map, self._callgraph
-        )
-        fractions = partition.fractions()
+            partition = partition_transactions(
+                self._transactions, self._shard_map, self._callgraph
+            )
+            fractions = partition.fractions()
         # Every shard id needs a positive fraction for the draw intervals;
         # give empty shards a minimal epsilon share of miners while
         # leaving populated shards' weights proportional to their load.
@@ -342,11 +467,20 @@ class ProtocolSimulation:
         for miner in self._miners:
             shard = self._assignment.shard_of[miner.public]
             state = WorldState()
-            for tx in self._transactions:
-                state.create_account(tx.sender)
-                account = state.account(tx.sender)
-                account.balance = self._config.initial_balance
-            self._seed_contracts(state)
+            if self._stream is None:
+                # Materialized workload: the paper's setup funds every
+                # sender before genesis on every node.
+                for tx in self._transactions:
+                    state.create_account(tx.sender)
+                    account = state.account(tx.sender)
+                    account.balance = self._config.initial_balance
+                self._seed_contracts(state)
+            else:
+                # Streaming: sender accounts are provisioned lazily at
+                # injection time, and a node only deploys the contracts
+                # its own shard validates — per-node state is O(own
+                # shard), not O(workload) x O(nodes).
+                self._seed_shard_contracts(state, shard)
             behavior = self._behaviors.get(miner.public)
             if behavior is None and not self._distribute_packet:
                 behavior = self._unified_behavior(miner.public, shard)
@@ -362,6 +496,7 @@ class ProtocolSimulation:
                 ),
                 packet_commitment=self._commitment,
                 fast_paths=self._fast_engine,
+                mempool_limit=self._config.mempool_limit,
             )
             if self._lineage:
                 node.on_pooled = self._note_pooled
@@ -412,6 +547,23 @@ class ProtocolSimulation:
             state.deploy_contract(
                 SmartContract.unconditional(address, beneficiary=f"sink-{address[:8]}")
             )
+
+    def _seed_shard_contracts(self, state: WorldState, shard: int) -> None:
+        """Streaming variant: deploy only the contracts ``shard`` owns.
+
+        A node never applies a foreign shard's blocks (Sec. III-C
+        verification 2 stops them before the state transition), so
+        foreign contracts on its state were pure memory overhead.
+        """
+        from repro.chain.contract import SmartContract
+
+        for address, owner in self._shard_map.contract_to_shard.items():
+            if owner == shard:
+                state.deploy_contract(
+                    SmartContract.unconditional(
+                        address, beneficiary=f"sink-{address[:8]}"
+                    )
+                )
 
     # ------------------------------------------------------------------
     # accessors
@@ -466,12 +618,20 @@ class ProtocolSimulation:
                 "workload.inject",
                 time=self._scheduler.now,
                 phase="inject",
-                txs=len(self._transactions),
+                txs=(
+                    self._stream.total
+                    if self._stream is not None
+                    else len(self._transactions)
+                ),
                 miners=len(self._miners),
                 faults_active=self._faults_active,
                 unified=self._unified,
             )
-        if self._faults_active:
+        if self._stream is not None:
+            # Paced streaming injection: the first batch lands at t=0
+            # (mirroring the up-front inject), later ticks self-schedule.
+            self._begin_streaming_injection()
+        elif self._faults_active:
             # Under faults transactions travel the lossy network: each is
             # announced by its (off-network) user and can be lost.
             for tx in self._transactions:
@@ -501,13 +661,26 @@ class ProtocolSimulation:
         for public in self._nodes:
             self._schedule_mining(public)
 
-        target_ids = self._relevant_tx_ids()
+        target_ids = (
+            self._relevant_tx_ids() if self._stream is None else set()
+        )
 
         if self._config.run_to_horizon:
             # Scenario mode: chain races must play out over the whole
             # horizon, so the confirmed-set stop condition is disabled.
             def drained() -> bool:
                 return False
+
+        elif self._stream is not None:
+            # Streaming stop: the run is over once the stream is fully
+            # injected AND every pool has drained — confirmed or
+            # evicted, nothing more can ever be mined.
+            nodes = list(self._nodes.values())
+
+            def drained() -> bool:
+                if not self._inject_done:
+                    return False
+                return all(len(node.mempool) == 0 for node in nodes)
 
         elif self._fast_engine:
             # The stop condition runs after EVERY event. Recompute the
@@ -549,6 +722,7 @@ class ProtocolSimulation:
             until=self._config.max_duration, stop_condition=drained
         )
         confirmed = self._confirmed_ids()
+        evicted = sum(n.mempool.evictions for n in self._nodes.values())
         rejected = sum(n.stats.blocks_rejected for n in self._nodes.values())
         reasons = [
             reason
@@ -604,6 +778,8 @@ class ProtocolSimulation:
             tracer.metrics.gauge("protocol.queue_compactions").set(
                 self._scheduler.compactions
             )
+            if evicted:
+                tracer.metrics.gauge("protocol.txs_evicted").set(evicted)
         return ProtocolResult(
             duration=self._scheduler.now,
             confirmed_tx_ids=confirmed,
@@ -616,6 +792,7 @@ class ProtocolSimulation:
             fallbacks=stats.fallbacks,
             equivocations_detected=stats.equivocations_detected,
             fault_stats=stats,
+            evicted=evicted,
             trace=tracer,
         )
 
@@ -683,6 +860,95 @@ class ProtocolSimulation:
             state["union"] = union
 
         return probe
+
+    # ------------------------------------------------------------------
+    # streaming injection (paced, bounded-memory)
+    # ------------------------------------------------------------------
+    def _begin_streaming_injection(self) -> None:
+        self._inject_iter = iter(self._stream)
+        self._injected = 0
+        self._inject_done = False
+        self._inject_classifier = self._classifier()
+        shard_nodes: dict[int, list[FullNode]] = {}
+        for node in self._nodes.values():
+            shard_nodes.setdefault(node.shard_id, []).append(node)
+        self._shard_nodes = shard_nodes
+        self._inject_tick()
+
+    def _pool_high_water(self) -> int:
+        return max(
+            (len(node.mempool) for node in self._nodes.values()), default=0
+        )
+
+    def _inject_tick(self) -> None:
+        """One paced injection step: backpressure check, then a batch.
+
+        With a ``mempool_limit`` the tick defers — consuming nothing
+        from the stream — while any pool is at the limit, so injection
+        rides just behind confirmation instead of drowning the nodes.
+        Each transaction is classified once by the coordinator and
+        handed only to its shard's nodes: foreign nodes would ignore it
+        anyway, and skipping them keeps the hot path O(shard), not
+        O(network).
+        """
+        config = self._config
+        limit = config.mempool_limit
+        if limit is not None and self._pool_high_water() >= limit:
+            if self._tracer is not None:
+                self._tracer.event(
+                    "inject.defer",
+                    time=self._scheduler.now,
+                    phase="inject",
+                    pool_load=self._pool_high_water(),
+                    injected=self._injected,
+                )
+            self._scheduler.schedule_in(config.inject_interval, self._inject_tick)
+            return
+        batch = list(itertools.islice(self._inject_iter, config.inject_batch))
+        if batch:
+            self._inject_batch(batch)
+            self._injected += len(batch)
+            if self._tracer is not None:
+                self._tracer.event(
+                    "inject.batch",
+                    time=self._scheduler.now,
+                    phase="inject",
+                    txs=len(batch),
+                    injected=self._injected,
+                )
+        if len(batch) < config.inject_batch:
+            self._inject_done = True
+            if self._injected != self._stream.total:
+                raise SimulationError(
+                    f"stream {self._stream.description!r} yielded "
+                    f"{self._injected} transactions but declared "
+                    f"{self._stream.total}"
+                )
+            if self._tracer is not None:
+                self._tracer.event(
+                    "inject.done",
+                    time=self._scheduler.now,
+                    phase="inject",
+                    injected=self._injected,
+                )
+            return
+        self._scheduler.schedule_in(config.inject_interval, self._inject_tick)
+
+    def _inject_batch(self, batch: list[Transaction]) -> None:
+        classifier = self._inject_classifier
+        callgraph = self._callgraph
+        shard_nodes = self._shard_nodes
+        balance = self._config.initial_balance
+        for tx in batch:
+            # The coordinator's call graph must see the edge before the
+            # shard rule can classify the sender (observe is idempotent).
+            callgraph.observe(tx)
+            shard = classifier(tx)
+            for node in shard_nodes.get(shard, ()):
+                state = node.state
+                if not state.has_account(tx.sender):
+                    state.create_account(tx.sender, balance=balance)
+                node.on_transaction(tx)
 
     # ------------------------------------------------------------------
     # failure handling: leader distribution, retransmission, fallback
@@ -864,6 +1130,9 @@ class ProtocolSimulation:
         )
         node.behavior.observe_forged(block)
         node.adopt_block(block)
+        # Working-set hygiene for stateful behaviors (assigned-selection
+        # packers compact confirmed ids); honest behaviors no-op.
+        node.behavior.note_confirmed(node.ledger.confirmed_tx_ids())
         self._rewards.credit_block(block)
         if self._tracer is not None:
             # The per-shard confirmation timeline: every forged block

@@ -13,24 +13,34 @@ multiple smart contracts..."). These generators produce the same shapes:
 from repro.workloads.distributions import (
     binomial_fees,
     exponential_fees,
+    uniform_fee_stream,
     uniform_fees,
     random_small_shard_sizes,
 )
 from repro.workloads.generators import (
+    MAX_MATERIALIZED_TXS,
+    TxStream,
     WorkloadBuilder,
     single_shard_workload,
     small_shard_workload,
+    streaming_single_shard_workload,
+    streaming_uniform_contract_workload,
     three_input_workload,
     uniform_contract_workload,
 )
 
 __all__ = [
+    "MAX_MATERIALIZED_TXS",
+    "TxStream",
     "WorkloadBuilder",
     "uniform_contract_workload",
+    "streaming_uniform_contract_workload",
+    "streaming_single_shard_workload",
     "small_shard_workload",
     "three_input_workload",
     "single_shard_workload",
     "uniform_fees",
+    "uniform_fee_stream",
     "binomial_fees",
     "exponential_fees",
     "random_small_shard_sizes",

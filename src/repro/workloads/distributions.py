@@ -19,6 +19,23 @@ def uniform_fees(
     return [rng.randint(low, high) for __ in range(count)]
 
 
+def uniform_fee_stream(
+    low: int = 1, high: int = 100, seed: int | None = None
+):
+    """Lazy, unbounded version of :func:`uniform_fees`.
+
+    Draws from the identical RNG in the identical order, so the first
+    ``n`` values are bit-equal to ``uniform_fees(n, low, high, seed)``
+    — the property the streaming/list workload parity rests on — while
+    a million-transaction campaign never holds a million fees at once.
+    """
+    if low < 0 or high < low:
+        raise WorkloadError(f"invalid fee range [{low}, {high}]")
+    rng = random.Random(seed)
+    while True:
+        yield rng.randint(low, high)
+
+
 def binomial_fees(
     count: int, total_fees: int = 200, seed: int | None = None
 ) -> list[int]:

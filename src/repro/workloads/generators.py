@@ -3,6 +3,17 @@
 All generators route through :class:`WorkloadBuilder`, which manages
 sender accounts and their nonce sequences so that every generated
 workload validates cleanly against a fresh world state.
+
+Million-transaction campaigns use the *streaming* variants: they return
+a :class:`TxStream` — a replayable declaration of the workload's shape
+(total count, contract set, per-shard counts) plus a factory that
+*yields* transactions instead of returning a list. A stream's first
+``n`` transactions are field-identical to the list generator's first
+``n`` (same seeded draws in the same order), which is what makes
+generator-based injection digest-identical to list-based injection at
+baseline scales. Materializing a stream above
+:data:`MAX_MATERIALIZED_TXS` fails loudly — the whole point of a stream
+is that nothing ever holds it in memory at once.
 """
 
 from __future__ import annotations
@@ -10,10 +21,15 @@ from __future__ import annotations
 import random
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 from repro.chain.transaction import Transaction, TransactionKind
 from repro.errors import WorkloadError
-from repro.workloads.distributions import uniform_fees
+from repro.workloads.distributions import uniform_fee_stream, uniform_fees
+
+#: Hard ceiling on turning a stream back into a list (t=0 injection,
+#: tests, debugging). Above this, callers must inject in paced batches.
+MAX_MATERIALIZED_TXS = 50_000
 
 
 def _contract_address(index: int) -> str:
@@ -85,6 +101,54 @@ class WorkloadBuilder:
         return list(self._nonces)
 
 
+@dataclass(frozen=True)
+class TxStream:
+    """A replayable, lazily generated transaction workload.
+
+    ``contracts`` and ``shard_counts`` declare up front what the list
+    generators only reveal after materialization: which contract
+    addresses exist (so shard formation needs no transaction scan) and
+    how many transactions each shard will eventually receive. Each
+    :meth:`__iter__` call restarts the seeded factory, so the stream
+    can be traversed more than once — note that transaction *ids* embed
+    a process-global serial and therefore differ between traversals,
+    while every digest-bearing field (sender, recipient, fee, nonce,
+    kind, contract) is identical.
+    """
+
+    total: int
+    contracts: tuple[str, ...]
+    #: shard id -> intended transaction count; shard 0 is the MaxShard.
+    shard_counts: dict[int, int]
+    factory: Callable[[], Iterator[Transaction]]
+    description: str = "stream"
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return self.factory()
+
+    def materialize(self, cap: int | None = None) -> list[Transaction]:
+        """The full transaction list — small streams only, loudly.
+
+        ``cap`` defaults to :data:`MAX_MATERIALIZED_TXS`; a stream
+        declaring more transactions than the cap refuses instead of
+        silently exhausting memory.
+        """
+        limit = MAX_MATERIALIZED_TXS if cap is None else cap
+        if self.total > limit:
+            raise WorkloadError(
+                f"refusing to materialize {self.description!r}: "
+                f"{self.total} transactions exceed the {limit}-tx cap — "
+                f"use paced streaming injection (inject_batch=) instead"
+            )
+        txs = list(self.factory())
+        if len(txs) != self.total:
+            raise WorkloadError(
+                f"stream {self.description!r} declared {self.total} "
+                f"transactions but yielded {len(txs)}"
+            )
+        return txs
+
+
 def _per_shard_counts(total: int, shards: int) -> list[int]:
     """Split ``total`` transactions as evenly as possible over shards."""
     base = total // shards
@@ -132,6 +196,84 @@ def uniform_contract_workload(
             sender = _user_address(f"c{shard_index + 1}-{seed}-{i}")
             txs.append(builder.contract_call(sender, contract, fee=next(fee_iter)))
     return txs
+
+
+def streaming_uniform_contract_workload(
+    total_txs: int,
+    contract_shards: int,
+    fee_low: int = 1,
+    fee_high: int = 100,
+    seed: int | None = None,
+) -> TxStream:
+    """:func:`uniform_contract_workload` as a bounded-memory stream.
+
+    The factory yields transactions in the list generator's exact
+    order — the MaxShard slice first, then one slice per contract
+    shard — drawing fees lazily from the same seeded RNG sequence, so
+    ``list(stream)[:n]`` is field-identical to the list version's first
+    ``n`` transactions at any scale.
+    """
+    if total_txs < 0:
+        raise WorkloadError("total_txs cannot be negative")
+    if contract_shards < 0:
+        raise WorkloadError("contract_shards cannot be negative")
+    shard_slots = contract_shards + 1
+    counts = _per_shard_counts(total_txs, shard_slots)
+    contracts = tuple(
+        _contract_address(index + 1) for index in range(contract_shards)
+    )
+
+    def factory() -> Iterator[Transaction]:
+        builder = WorkloadBuilder(seed=seed)
+        fee_iter = uniform_fee_stream(fee_low, fee_high, seed=seed)
+        for i in range(counts[0]):
+            sender = _user_address(f"max-{seed}-{i}")
+            recipient = _user_address(f"maxdst-{seed}-{i}")
+            yield builder.direct_transfer(sender, recipient, fee=next(fee_iter))
+        for shard_index in range(contract_shards):
+            contract = contracts[shard_index]
+            for i in range(counts[shard_index + 1]):
+                sender = _user_address(f"c{shard_index + 1}-{seed}-{i}")
+                yield builder.contract_call(sender, contract, fee=next(fee_iter))
+
+    return TxStream(
+        total=total_txs,
+        contracts=contracts,
+        shard_counts={index: count for index, count in enumerate(counts)},
+        factory=factory,
+        description=(
+            f"uniform_contract(total={total_txs}, shards={contract_shards}, "
+            f"seed={seed})"
+        ),
+    )
+
+
+def streaming_single_shard_workload(
+    count: int,
+    fee_low: int = 1,
+    fee_high: int = 100,
+    seed: int | None = None,
+) -> TxStream:
+    """:func:`single_shard_workload` as a bounded-memory stream."""
+    if count < 0:
+        raise WorkloadError("count cannot be negative")
+    contract = _contract_address(1)
+
+    def factory() -> Iterator[Transaction]:
+        builder = WorkloadBuilder(seed=seed)
+        fee_iter = uniform_fee_stream(fee_low, fee_high, seed=seed)
+        for i in range(count):
+            yield builder.contract_call(
+                _user_address(f"solo-{seed}-{i}"), contract, fee=next(fee_iter)
+            )
+
+    return TxStream(
+        total=count,
+        contracts=(contract,),
+        shard_counts={0: 0, 1: count},
+        factory=factory,
+        description=f"single_shard(count={count}, seed={seed})",
+    )
 
 
 def small_shard_workload(

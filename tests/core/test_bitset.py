@@ -1,0 +1,75 @@
+"""Bitset: the dense seen-index set behind streaming-scale tracking."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bitset import Bitset
+
+
+def test_empty_bitset():
+    bits = Bitset()
+    assert len(bits) == 0
+    assert 0 not in bits
+    assert list(bits) == []
+
+
+def test_add_and_membership():
+    bits = Bitset()
+    assert bits.add(5)
+    assert 5 in bits
+    assert len(bits) == 1
+    # Re-adding is idempotent and reports "not new".
+    assert not bits.add(5)
+    assert len(bits) == 1
+
+
+def test_growth_beyond_size_hint():
+    bits = Bitset(size_hint=8)
+    assert bits.add(1000)
+    assert 1000 in bits
+    assert 999 not in bits
+    assert 1001 not in bits
+
+
+def test_negative_index_rejected():
+    bits = Bitset()
+    with pytest.raises(ValueError):
+        bits.add(-1)
+    assert -1 not in bits
+
+
+def test_negative_size_hint_rejected():
+    with pytest.raises(ValueError):
+        Bitset(size_hint=-4)
+
+
+def test_iteration_ascending():
+    bits = Bitset()
+    for index in (17, 3, 64, 0, 8):
+        bits.add(index)
+    assert list(bits) == [0, 3, 8, 17, 64]
+
+
+def test_matches_set_semantics():
+    """Differential check against set[int] over random operations."""
+    rng = random.Random(42)
+    bits = Bitset()
+    reference: set[int] = set()
+    for __ in range(2000):
+        index = rng.randrange(0, 500)
+        assert bits.add(index) == (index not in reference)
+        reference.add(index)
+    assert len(bits) == len(reference)
+    assert list(bits) == sorted(reference)
+    for probe in range(500):
+        assert (probe in bits) == (probe in reference)
+
+
+def test_memory_is_bitmap_dense():
+    bits = Bitset()
+    bits.add(1_000_000)
+    # One bit per index: a million-index capacity costs ~125 KB.
+    assert len(bits._bits) <= 1_000_000 // 8 + 1

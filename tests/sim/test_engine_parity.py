@@ -129,6 +129,68 @@ class TestDrawOrderContract:
         assert model.sample_many(rng, 8) == [0.02] * 8
         assert rng.getstate() == before
 
+    def test_sample_many_numpy_batch_bit_equal_to_scalar(self):
+        """Counts at/above the numpy batching threshold must still be
+        bit-identical to per-call sampling — IEEE multiply/add is
+        elementwise identical, and digests depend on it."""
+        from repro.net import network as network_mod
+
+        threshold = network_mod._NUMPY_BATCH_MIN
+        model = LatencyModel(base_seconds=0.05, jitter_seconds=0.03)
+        for count in (threshold, threshold + 1, 4 * threshold + 3):
+            a, b = random.Random(7), random.Random(7)
+            batched = model.sample_many(a, count)
+            scalar = [model.sample(b) for __ in range(count)]
+            assert batched == scalar  # exact float equality, not approx
+            assert a.random() == b.random()
+
+    def test_sample_many_without_numpy_matches(self, monkeypatch):
+        """The pure-Python fallback (numpy absent) is the same stream."""
+        from repro.net import network as network_mod
+
+        model = LatencyModel(base_seconds=0.05, jitter_seconds=0.03)
+        a, b = random.Random(13), random.Random(13)
+        with_np = model.sample_many(a, 64)
+        monkeypatch.setattr(network_mod, "_np", None)
+        without_np = model.sample_many(b, 64)
+        assert with_np == without_np
+
+
+class TestMiningPrefetchContract:
+    """The prefetched uniform buffer must reproduce ``expovariate``'s
+    exact draw values, including across a mid-stream retarget."""
+
+    def test_prefetch_bit_equal_to_expovariate(self):
+        from repro.consensus.pow import MiningProcess, PoWParameters
+
+        params = PoWParameters.fast_confirmation()
+        process = MiningProcess(params, hashrate_fraction=0.5, seed=21)
+        reference = random.Random(21)
+        interval = params.expected_interval(0.5)
+        # Span several refills of the prefetch buffer.
+        for __ in range(3 * MiningProcess.PREFETCH + 5):
+            assert process.next_block_time() == reference.expovariate(
+                1.0 / interval
+            )
+
+    def test_retarget_applies_from_next_draw(self):
+        from repro.consensus.pow import MiningProcess, PoWParameters
+
+        params = PoWParameters.one_block_per_minute()
+        process = MiningProcess(params, hashrate_fraction=1.0, seed=3)
+        reference = random.Random(3)
+        for __ in range(5):
+            assert process.next_block_time() == reference.expovariate(
+                1.0 / params.expected_interval(1.0)
+            )
+        # Retarget mid-buffer: already-prefetched uniforms must be
+        # re-scaled by the new interval, not served at the old one.
+        process.retarget(0.25)
+        for __ in range(5):
+            assert process.next_block_time() == reference.expovariate(
+                1.0 / params.expected_interval(0.25)
+            )
+
 
 class TestSchedulerCompaction:
     def test_mass_cancellation_triggers_compaction(self):
