@@ -113,6 +113,9 @@ def _child_payload(total: int) -> dict:
         "total_txs": total,
         "wall_s": round(wall, 4),
         "events_fired": sim.scheduler.events_fired,
+        # Physical heap-entry high-water mark (delivery waves and the
+        # mining calendar keep this far below the logical event count).
+        "peak_pending": sim.scheduler.peak_pending,
         "confirmed": result.confirmed_count(),
         "evicted": result.evicted,
         "duration_s": round(result.duration, 2),

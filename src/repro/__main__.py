@@ -33,7 +33,7 @@ import argparse
 import pathlib
 import sys
 
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.experiments import experiment_ids, run_experiment
 
 #: Default benchmark-record directory for ``bench history`` / ``check``.
@@ -47,13 +47,19 @@ def _print_result(result) -> None:
     print()
 
 
-def _run_traced(experiment: str, quick: bool, seed: int, trace_path: str) -> None:
+def _run_traced(
+    experiment: str,
+    quick: bool,
+    seed: int,
+    trace_path: str,
+    miners: int | None = None,
+) -> None:
     """Run one experiment inside a lineage-enabled tracer scope."""
     from repro.observe import Tracer, use_tracer
 
     tracer = Tracer(lineage=True)
     with use_tracer(tracer):
-        result = run_experiment(experiment, quick=quick, seed=seed)
+        result = run_experiment(experiment, quick=quick, seed=seed, miners=miners)
     _print_result(result)
     target = tracer.write_jsonl(trace_path)
     print(
@@ -78,6 +84,8 @@ def _trace_record(args) -> int:
         uniform_contract_workload,
     )
 
+    if args.miners < 1:
+        raise ConfigError(f"--miners/--nodes must be positive: {args.miners}")
     miners = [MinerIdentity.create(f"m{i}") for i in range(args.miners)]
     if args.stream:
         workload = streaming_uniform_contract_workload(
@@ -284,6 +292,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--quick", action="store_true", help="trimmed sweep")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument(
+        "--miners",
+        "--nodes",
+        dest="miners",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the experiment's miner/node axis "
+        "(fig1d: shard size; fig3a: miners per shard)",
+    )
+    run_parser.add_argument(
         "--trace",
         metavar="PATH",
         help="dump the run's JSONL trace here and print its digest",
@@ -318,7 +336,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("fast", "legacy", "shard_parallel"), default="fast"
     )
     record.add_argument("--seed", type=int, default=7)
-    record.add_argument("--miners", type=int, default=6)
+    record.add_argument(
+        "--miners",
+        "--nodes",
+        dest="miners",
+        type=int,
+        default=6,
+        metavar="N",
+        help="how many miners (= full nodes) join the run",
+    )
     record.add_argument("--txs", type=int, default=30)
     record.add_argument("--shards", type=int, default=2)
     record.add_argument("--faulty", action="store_true", help="lossy network")
@@ -467,12 +493,27 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        if args.trace:
-            _run_traced(args.experiment, args.quick, args.seed, args.trace)
-        else:
-            _print_result(
-                run_experiment(args.experiment, quick=args.quick, seed=args.seed)
-            )
+        try:
+            if args.trace:
+                _run_traced(
+                    args.experiment,
+                    args.quick,
+                    args.seed,
+                    args.trace,
+                    miners=args.miners,
+                )
+            else:
+                _print_result(
+                    run_experiment(
+                        args.experiment,
+                        quick=args.quick,
+                        seed=args.seed,
+                        miners=args.miners,
+                    )
+                )
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return 0
 
     if args.command == "report":

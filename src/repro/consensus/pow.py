@@ -19,6 +19,11 @@ import math
 import random
 from dataclasses import dataclass
 
+try:  # pragma: no cover - exercised indirectly via MiningCalendar
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
+
 # Calibration anchor: difficulty 0x40000 == 60 s expected block time on the
 # paper's reference machine, giving the reference hash rate below.
 _ANCHOR_DIFFICULTY = 0x40000
@@ -120,3 +125,120 @@ class MiningProcess:
         if hashrate_fraction <= 0:
             raise ValueError("hash-power fraction must be positive")
         self._hashrate_fraction = hashrate_fraction
+
+
+class MiningCalendar:
+    """Per-shard mining schedule: one heap entry for N miners.
+
+    The per-miner scheme keeps one standing scheduler event per miner —
+    thousands of miners mean thousands of heap entries churned on every
+    forge, retarget or crash. The calendar instead keeps each miner's
+    next **absolute** block time in an array and arms a single scheduler
+    event for the current winner (the argmin). Updates mutate the array;
+    only the winner's event ever touches the heap.
+
+    Equivalence contract (pinned by a differential test): each miner's
+    :class:`MiningProcess` draw order is untouched — a draw still
+    happens exactly when that miner's previous virtual event fires — so
+    the sequence of ``(time, miner)`` firings is identical to the
+    per-miner-event scheme whenever no two firings share an exact
+    float time (ties have measure zero under exponential sampling; the
+    recorded seed-digest baselines verify this empirically).
+
+    The armed event's callback is :meth:`_on_fire` with the winning
+    miner's id as its only argument (``event.args[0]``), matching the
+    per-miner scheme's event shape — the shard-parallel window loop
+    relies on ``args[0]`` naming the miner. ``fire(miner_id)`` runs the
+    engine's mine step; any :meth:`set_next` calls it makes are deferred
+    (array-only) and a single re-arm happens after it returns.
+
+    The argmin scan vectorizes over a persistent numpy mirror when numpy
+    is available and the shard is large enough; the pure-python
+    fallback is bit-identical (both return the *first* minimum).
+    """
+
+    #: Below this many miners a python min() beats the numpy round trip.
+    _NUMPY_MIN_MINERS = 32
+
+    def __init__(self, scheduler, fire) -> None:
+        self._scheduler = scheduler
+        self._fire = fire
+        self._index: dict[str, int] = {}
+        self._miners: list[str] = []
+        self._times: list[float] = []
+        self._np_times = None  # lazily built persistent mirror
+        self._armed = None  # the winner's scheduler Event, if any
+        self._armed_slot: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._miners)
+
+    def __contains__(self, miner_id: str) -> bool:
+        return miner_id in self._index
+
+    def add(self, miner_id: str) -> None:
+        """Register a miner with no scheduled block yet."""
+        if miner_id in self._index:
+            raise ValueError(f"miner {miner_id} already in calendar")
+        self._index[miner_id] = len(self._miners)
+        self._miners.append(miner_id)
+        self._times.append(math.inf)
+        self._np_times = None
+
+    def set_next(self, miner_id: str, time: float) -> None:
+        """Record a miner's next absolute block time (array-only).
+
+        Deferred by design: callers batch updates (initial draws, the
+        redraw inside a fired mine step, retarget/crash sweeps) and the
+        single re-arm happens in :meth:`rearm` / :meth:`_on_fire`.
+        """
+        slot = self._index[miner_id]
+        self._times[slot] = time
+        if self._np_times is not None:
+            self._np_times[slot] = time
+
+    def next_time(self, miner_id: str) -> float:
+        """The recorded next block time for one miner (inf = none)."""
+        return self._times[self._index[miner_id]]
+
+    def _argmin(self) -> int | None:
+        times = self._times
+        if not times:
+            return None
+        if len(times) >= self._NUMPY_MIN_MINERS and _np is not None:
+            if self._np_times is None:
+                self._np_times = _np.asarray(times, dtype=float)
+            return int(self._np_times.argmin())
+        return min(range(len(times)), key=times.__getitem__)
+
+    def rearm(self) -> None:
+        """(Re)schedule the scheduler event for the current winner.
+
+        Cancelling a stale armed event is cheap in both states it can be
+        in: already fired means the event is detached from the queue (a
+        flag flip), still pending means one tombstone swept by the
+        queue's lazy compaction.
+        """
+        slot = self._argmin()
+        if self._armed is not None:
+            if (
+                slot == self._armed_slot
+                and not self._armed.cancelled
+                and self._armed.time == self._times[slot]
+            ):
+                return  # winner unchanged, event still good
+            self._armed.cancel()
+            self._armed = None
+            self._armed_slot = None
+        if slot is None or self._times[slot] == math.inf:
+            return
+        self._armed = self._scheduler.schedule_at(
+            self._times[slot], self._on_fire, self._miners[slot]
+        )
+        self._armed_slot = slot
+
+    def _on_fire(self, miner_id: str) -> None:
+        self._armed = None
+        self._armed_slot = None
+        self._fire(miner_id)
+        self.rearm()

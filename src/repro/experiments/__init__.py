@@ -10,9 +10,10 @@ single entry point the benchmarks, tests and examples share.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigError, ExperimentError
 from repro.experiments.base import ExperimentResult
 
 from repro.experiments import (
@@ -60,9 +61,19 @@ def experiment_ids() -> list[str]:
 
 
 def run_experiment(
-    experiment_id: str, quick: bool = False, seed: int = 0
+    experiment_id: str,
+    quick: bool = False,
+    seed: int = 0,
+    miners: int | None = None,
 ) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"fig3a"``, ``"table1"``)."""
+    """Run one experiment by id (e.g. ``"fig3a"``, ``"table1"``).
+
+    ``miners`` overrides the experiment's miner axis (the CLI's
+    ``--miners``/``--nodes``): ``fig1d`` pins the shard-size sweep to
+    one point, ``fig3a`` sets miners per shard. Experiments without a
+    miner knob reject the override with :class:`ExperimentError`;
+    non-positive counts are a :class:`ConfigError`.
+    """
     try:
         runner = _REGISTRY[experiment_id]
     except KeyError:
@@ -70,7 +81,21 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; "
             f"known: {', '.join(_REGISTRY)}"
         ) from None
-    return runner(quick=quick, seed=seed)
+    if miners is None:
+        return runner(quick=quick, seed=seed)
+    if miners < 1:
+        raise ConfigError(f"miner count must be positive: {miners}")
+    if "miners" not in inspect.signature(runner).parameters:
+        supported = ", ".join(
+            eid
+            for eid, fn in _REGISTRY.items()
+            if "miners" in inspect.signature(fn).parameters
+        )
+        raise ExperimentError(
+            f"experiment {experiment_id!r} has no miner axis to override; "
+            f"--miners/--nodes applies to: {supported}"
+        )
+    return runner(quick=quick, seed=seed, miners=miners)
 
 
 __all__ = ["ExperimentResult", "experiment_ids", "run_experiment"]

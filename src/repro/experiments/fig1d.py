@@ -6,9 +6,12 @@ from repro.core import security
 from repro.experiments.base import ExperimentResult
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    quick: bool = False, seed: int = 0, miners: int | None = None
+) -> ExperimentResult:
     step = 20 if quick else 5
-    miner_counts = list(range(20, 101, step))
+    # --miners pins the shard-size axis to a single point.
+    miner_counts = [miners] if miners is not None else list(range(20, 101, step))
     curves = security.fig1d_curves(miner_counts, adversary_fractions=(0.25, 0.33))
 
     rows = [

@@ -16,7 +16,12 @@ from repro.workloads.generators import uniform_contract_workload
 TIMING = TimingModel.low_variance(interval=60.0, shape=48.0)
 
 
-def measure_improvement(shard_count: int, run_seed: int, total_txs: int = 200) -> float:
+def measure_improvement(
+    shard_count: int,
+    run_seed: int,
+    total_txs: int = 200,
+    miners_per_shard: int = 1,
+) -> float:
     """One seeded improvement measurement for a given total shard count."""
     txs = uniform_contract_workload(
         total_txs=total_txs, contract_shards=shard_count - 1, seed=run_seed
@@ -27,18 +32,25 @@ def measure_improvement(shard_count: int, run_seed: int, total_txs: int = 200) -
         config=SimulationConfig(timing=TIMING, seed=run_seed + 1),
     )
     sharded = run_sharded(
-        txs, config=SimulationConfig(timing=TIMING, seed=run_seed + 2)
+        txs,
+        config=SimulationConfig(timing=TIMING, seed=run_seed + 2),
+        miners_per_shard=miners_per_shard,
     )
     return ethereum.makespan / sharded.makespan
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    quick: bool = False, seed: int = 0, miners: int | None = None
+) -> ExperimentResult:
     repetitions = 2 if quick else 10
     shard_counts = list(range(1, 10))
+    miners_per_shard = miners if miners is not None else 1
     improvements = averaged_sweep(
         [
             (
-                lambda s, k=shard_count: measure_improvement(k, s),
+                lambda s, k=shard_count: measure_improvement(
+                    k, s, miners_per_shard=miners_per_shard
+                ),
                 repetitions,
                 seed + shard_count,
             )

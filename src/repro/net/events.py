@@ -21,7 +21,16 @@ built for throughput:
 * cancelled entries are **lazily compacted**: once more than half of a
   non-trivial heap is dead weight the heap is rebuilt in one O(n)
   filter + heapify pass instead of dribbling tombstones through every
-  subsequent sift.
+  subsequent sift;
+* fan-outs are **wave-scheduled**: a broadcast to N recipients is one
+  self-re-arming :class:`DeliveryWave` heap entry instead of N pushes.
+  The wave carries the pre-sampled latency vector sorted into delivery
+  order, pre-allocates the same contiguous sequence numbers the N
+  individual events would have used, and reinserts itself keyed on the
+  next delivery after each pop — so interleaving with every other
+  event, including exact-time ties, is bit-identical to N separate
+  entries while the standing heap footprint per in-flight broadcast is
+  O(1).
 
 The pre-optimization engine survives as
 :class:`repro.net.legacy.LegacyScheduler` and is held to bit-identical
@@ -87,6 +96,55 @@ class Event:
         return f"Event(t={self.time:.6f}, seq={self.sequence}, {state})"
 
 
+class DeliveryWave:
+    """One heap entry standing in for a whole fan-out of deliveries.
+
+    Carries the per-recipient delivery times sorted ascending, the
+    matching pre-allocated sequence numbers, and the recipient items.
+    ``emit(item)`` is called lazily at pop time and must return the
+    ``(callback, args)`` pair for that delivery — e.g. the network
+    builds the per-recipient ``Message`` only when it is actually due.
+
+    Ordering contract: the wave's heap key is always the ``(time,
+    sequence)`` key of its earliest undelivered item, and the sequence
+    block is allocated contiguously at push time, so the wave interleaves
+    with every other heap entry — ties included — exactly as the
+    individual events would have. Each pop delivers one recipient and
+    re-keys the wave on the next (``heapreplace``, one sift).
+
+    ``cancelled`` is always False: waves are never cancelled as a unit
+    (the fault layer bypasses wave scheduling entirely), which lets the
+    queue's tombstone sweeps treat them as ordinary live entries.
+    """
+
+    __slots__ = ("times", "seqs", "items", "emit", "pos", "cancelled", "_event")
+
+    def __init__(
+        self,
+        times: list[float],
+        seqs: list[int],
+        items: list,
+        emit: Callable[[object], tuple[EventCallback, tuple]],
+    ) -> None:
+        self.times = times
+        self.seqs = seqs
+        self.items = items
+        self.emit = emit
+        self.pos = 0
+        self.cancelled = False
+        # One mutable Event reused for every delivery of this wave: pops
+        # are consumed immediately by the run loops and never retained.
+        self._event = Event(times[0], seqs[0], _unemitted, (), queue=None)
+
+    def __len__(self) -> int:
+        """Undelivered recipients."""
+        return len(self.times) - self.pos
+
+
+def _unemitted() -> None:  # pragma: no cover - placeholder callback
+    raise SimulationError("DeliveryWave event fired before emit")
+
+
 class EventQueue:
     """A heap of pending events with an O(1) live count."""
 
@@ -98,6 +156,10 @@ class EventQueue:
         self._live = 0
         self._cancelled_in_heap = 0
         self.compactions = 0
+        #: High-water mark of *physical* heap entries (a wave counts as
+        #: one). The digest-excluded ``wall`` sidecars report this as
+        #: ``peak_pending`` — the footprint the wave scheduling shrinks.
+        self.peak_entries = 0
 
     def __len__(self) -> int:
         """Live (non-cancelled) events — maintained incrementally."""
@@ -109,13 +171,78 @@ class EventQueue:
         event = Event(time, seq, callback, args, queue=self)
         heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
+        if len(self._heap) > self.peak_entries:
+            self.peak_entries = len(self._heap)
         return event
 
+    def push_wave(
+        self,
+        times: list[float],
+        items: list,
+        emit: Callable[[object], tuple[EventCallback, tuple]],
+    ) -> DeliveryWave | None:
+        """Schedule a fan-out as one :class:`DeliveryWave` heap entry.
+
+        ``times[i]`` is the absolute delivery time of ``items[i]``.
+        Sequence numbers are allocated contiguously in item order —
+        exactly what ``len(times)`` individual pushes would have drawn —
+        then the wave is sorted into ``(time, sequence)`` delivery
+        order (the sort is stable, so equal-time items keep their push
+        order, matching per-event tie-breaking bit for bit).
+        """
+        n = len(times)
+        if n == 0:
+            return None
+        seq0 = self._next_seq
+        self._next_seq = seq0 + n
+        order = sorted(range(n), key=times.__getitem__)
+        wave = DeliveryWave(
+            [times[i] for i in order],
+            [seq0 + i for i in order],
+            [items[i] for i in order],
+            emit,
+        )
+        times = wave.times
+        seqs = wave.seqs
+        heapq.heappush(self._heap, (times[0], seqs[0], wave))
+        self._live += n
+        if len(self._heap) > self.peak_entries:
+            self.peak_entries = len(self._heap)
+        return wave
+
     def pop(self) -> Event | None:
-        """Pop the earliest live event, or None when drained."""
+        """Pop the earliest live event, or None when drained.
+
+        A :class:`DeliveryWave` at the top releases exactly one delivery
+        (materialized via its ``emit`` hook into the wave's reusable
+        event record) and re-keys itself on the next one in place.
+        """
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)[2]
+            entry = heap[0]
+            event = entry[2]
+            if event.__class__ is DeliveryWave:
+                wave = event
+                pos = wave.pos
+                callback, args = wave.emit(wave.items[pos])
+                out = wave._event
+                out.time = entry[0]
+                out.sequence = entry[1]
+                out.callback = callback
+                out.args = args
+                out.cancelled = False
+                wave.items[pos] = None  # release the reference early
+                pos += 1
+                wave.pos = pos
+                if pos < len(wave.times):
+                    heapq.heapreplace(
+                        heap, (wave.times[pos], wave.seqs[pos], wave)
+                    )
+                else:
+                    heapq.heappop(heap)
+                self._live -= 1
+                return out
+            heapq.heappop(heap)
             if not event.cancelled:
                 self._live -= 1
                 # Detach: a cancel() after the pop must not touch the
@@ -181,6 +308,16 @@ class Scheduler:
         return self._queue.compactions
 
     @property
+    def peak_pending(self) -> int:
+        """High-water mark of physical heap entries (a wave counts as 1).
+
+        The heap-footprint gauge the scale bench tracks: wave scheduling
+        and the mining calendar shrink this from O(miners + in-flight
+        deliveries) to O(shards + in-flight broadcasts).
+        """
+        return self._queue.peak_entries
+
+    @property
     def next_time(self) -> float | None:
         """Firing time of the earliest live event, or None when drained."""
         return self._queue.peek_time()
@@ -240,6 +377,27 @@ class Scheduler:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_wave(
+        self,
+        times: list[float],
+        items: list,
+        emit: Callable[[object], tuple[EventCallback, tuple]],
+    ) -> DeliveryWave | None:
+        """Schedule a fan-out as one self-re-arming heap entry.
+
+        ``times`` are absolute delivery times (one per item, any order);
+        ``emit(item)`` materializes the ``(callback, args)`` pair lazily
+        when that item's delivery pops. Equivalent to ``len(times)``
+        :meth:`schedule_at` calls in item order — same sequence-number
+        block, same tie-breaking — at O(1) standing heap footprint.
+        """
+        if times and min(times) < self._now:
+            raise SimulationError(
+                f"cannot schedule wave at {min(times):.3f}s: "
+                f"clock is already at {self._now:.3f}s"
+            )
+        return self._queue.push_wave(times, items, emit)
 
     def run(
         self,

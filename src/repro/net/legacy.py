@@ -58,6 +58,7 @@ class LegacyEventQueue:
     def __init__(self) -> None:
         self._heap: list[LegacyEvent] = []
         self._counter = itertools.count()
+        self.peak_entries = 0
 
     def __len__(self) -> int:
         return sum(1 for event in self._heap if not event.cancelled)
@@ -67,6 +68,8 @@ class LegacyEventQueue:
             time=time, sequence=next(self._counter), callback=callback
         )
         heapq.heappush(self._heap, event)
+        if len(self._heap) > self.peak_entries:
+            self.peak_entries = len(self._heap)
         return event
 
     def pop(self) -> LegacyEvent | None:
@@ -110,6 +113,11 @@ class LegacyScheduler:
     def compactions(self) -> int:
         """The legacy queue never compacts; kept for API parity."""
         return 0
+
+    @property
+    def peak_pending(self) -> int:
+        """High-water mark of heap entries (one per scheduled event)."""
+        return self._queue.peak_entries
 
     @property
     def pending(self) -> int:

@@ -113,11 +113,17 @@ class Network:
         latency: LatencyModel | None = None,
         seed: int | None = None,
         faults: "FaultModel | None" = None,
+        waves: bool = True,
     ) -> None:
         self._scheduler = scheduler
         self._latency = latency or LatencyModel()
         self._rng = random.Random(seed)
         self._faults = faults
+        #: Wave scheduling for the fault-free fan-out fast paths: one
+        #: self-re-arming DeliveryWave heap entry per broadcast instead
+        #: of one push + Message per recipient. ``waves=False`` keeps
+        #: the per-event path as the differential oracle.
+        self._waves = waves
         self._nodes: dict[str, "Node"] = {}
         self.messages_delivered = 0
         self.cross_shard_messages = 0
@@ -186,6 +192,14 @@ class Network:
             nodes = self._nodes
             recipients = [nid for nid in nodes if nid != sender]
             delays = self._latency.sample_many(self._rng, len(recipients))
+            if self._waves and len(recipients) > 1:
+                now = self._scheduler.now
+                self._scheduler.schedule_wave(
+                    [now + delay for delay in delays],
+                    [nodes[recipient] for recipient in recipients],
+                    self._wave_emit(message_kind, sender, payload, shard_id),
+                )
+                return len(recipients)
             schedule = self._scheduler.schedule_in
             deliver = self._deliver
             for recipient, delay in zip(recipients, delays):
@@ -217,6 +231,29 @@ class Network:
             )
         return sent
 
+    def _wave_emit(self, message_kind: MessageKind, sender: str,
+                   payload: object, shard_id: int | None):
+        """The lazy per-recipient materializer for wave scheduling.
+
+        One closure per fan-out (not per recipient); the Message is only
+        built when the recipient's delivery actually pops.
+        """
+        deliver = self._deliver
+
+        def emit(target: "Node"):
+            return deliver, (
+                target,
+                Message(
+                    kind=message_kind,
+                    sender=sender,
+                    recipient=target.node_id,
+                    payload=payload,
+                    shard_id=shard_id,
+                ),
+            )
+
+        return emit
+
     def multicast(self, message_kind: MessageKind, sender: str, payload: object,
                   recipients: list[str], shard_id: int | None = None) -> int:
         """Send a payload to an explicit recipient list; returns sends made.
@@ -233,8 +270,19 @@ class Network:
                 try:
                     targets.append(nodes[recipient])
                 except KeyError:
-                    raise NetworkError(f"unknown node {recipient}") from None
+                    raise NetworkError(
+                        f"unknown recipient {recipient} in "
+                        f"{message_kind.name} multicast from {sender}"
+                    ) from None
             delays = self._latency.sample_many(self._rng, len(actual))
+            if self._waves and len(actual) > 1:
+                now = self._scheduler.now
+                self._scheduler.schedule_wave(
+                    [now + delay for delay in delays],
+                    targets,
+                    self._wave_emit(message_kind, sender, payload, shard_id),
+                )
+                return len(actual)
             schedule = self._scheduler.schedule_in
             deliver = self._deliver
             for recipient, target, delay in zip(actual, targets, delays):
@@ -255,6 +303,11 @@ class Network:
         for recipient in recipients:
             if recipient == sender:
                 continue
+            if recipient not in self._nodes:
+                raise NetworkError(
+                    f"unknown recipient {recipient} in "
+                    f"{message_kind.name} multicast from {sender}"
+                )
             sent += self.send(
                 Message(
                     kind=message_kind,

@@ -96,6 +96,7 @@ import os
 from collections import defaultdict
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.consensus.pow import MiningCalendar
 from repro.core.bitset import Bitset
 from repro.faults.model import FaultModel
 from repro.faults.plan import FaultStats
@@ -255,6 +256,8 @@ class LoopFinal:
     report: WindowReport
     events_fired: int
     compactions: int
+    #: This loop's scheduler heap high-water mark (waves count as one).
+    peak_pending: int
     metrics: object | None
     network_counters: tuple
     # Mempool-bound displacements. In paced streaming runs these happen
@@ -335,6 +338,19 @@ class ShardLoop:
             self.network.register(node)
         self._global_node_ids = global_node_ids
         self._mining = {node.node_id: sim._mining[node.node_id] for node in nodes}
+        # One mining calendar per loop (a loop IS one shard): miners'
+        # next block times live in an array, one armed scheduler event.
+        self._calendar = (
+            MiningCalendar(self.scheduler, self._mine)
+            if config.mining_calendar
+            else None
+        )
+        if self._calendar is not None:
+            for node in nodes:
+                self._calendar.add(node.node_id)
+        # Wave-schedule barrier-replayed delivery batches (same gate as
+        # the serial network's fan-out fast paths).
+        self._waves = config.delivery_waves
         self._distribute_packet = sim._distribute_packet
         self._packet = sim._packet
         self._transactions = sim._transactions
@@ -448,13 +464,23 @@ class ShardLoop:
         """Draw each local miner's first block time (per-miner streams)."""
         for public in self._node_map:
             self._schedule_mining(public)
+        if self._calendar is not None:
+            self._calendar.rearm()
 
     def _schedule_mining(self, public: str) -> None:
         delay = self._mining[public].next_block_time()
+        if self._calendar is not None:
+            self._calendar.set_next(public, self.scheduler.now + delay)
+            return
         self.scheduler.schedule_in(delay, self._mine, public)
 
     def _deliver_event(self, node_id: str, message: Message) -> None:
         self.network.deliver(self._node_map[node_id], message)
+
+    def _emit_delivery(self, item: tuple):
+        """Wave materializer for barrier-replayed ``(time, node, msg)``
+        deliveries; ``args[0]`` stays the node id (run_window reads it)."""
+        return self._deliver_event, (item[1], item[2])
 
     def _mine(self, public: str) -> None:
         node = self._node_map[public]
@@ -598,8 +624,25 @@ class ShardLoop:
 
     def run_window(self, bound: float, deliveries: Iterable[tuple]) -> WindowReport:
         """Fire every local event with ``time < bound``; journal effects."""
-        for time, node_id, message in deliveries:
-            self.scheduler.schedule_at(time, self._deliver_event, node_id, message)
+        if self._waves:
+            batch = list(deliveries)
+            if len(batch) > 1:
+                # One heap entry for the whole barrier batch: sequence
+                # allocation and stable time-sorting keep the firing
+                # order identical to per-event scheduling in list order.
+                self.scheduler.schedule_wave(
+                    [item[0] for item in batch], batch, self._emit_delivery
+                )
+            elif batch:
+                time, node_id, message = batch[0]
+                self.scheduler.schedule_at(
+                    time, self._deliver_event, node_id, message
+                )
+        else:
+            for time, node_id, message in deliveries:
+                self.scheduler.schedule_at(
+                    time, self._deliver_event, node_id, message
+                )
         with self._scope():
             while True:
                 event = self.scheduler.advance_due(bound)
@@ -721,6 +764,7 @@ class ShardLoop:
             report=self.drain_report(),
             events_fired=self.scheduler.events_fired,
             compactions=self.scheduler.compactions,
+            peak_pending=self.scheduler.peak_pending,
             metrics=self.tracer.metrics if self.tracer is not None else None,
             network_counters=(
                 net.messages_delivered,
@@ -984,6 +1028,17 @@ class _CaptureScheduler:
         target, message = args
         self.captured.append((self.now + delay, target.node_id, message))
 
+    def schedule_wave(self, times, items, emit) -> None:
+        """Expand a delivery wave into per-recipient captures.
+
+        Capture order is item (= recipient registration) order — the
+        same order ``schedule_in`` captures produce — so routing and
+        replay are identical whether the network wave-schedules or not.
+        """
+        for time, item in zip(times, items):
+            __, (target, message) = emit(item)
+            self.captured.append((time, target.node_id, message))
+
 
 class _StubNode:
     __slots__ = ("node_id",)
@@ -1050,6 +1105,7 @@ class _ShardParallelRun:
             latency=self.config.latency,
             seed=self.config.seed,
             faults=self.fault_model,
+            waves=self.config.delivery_waves,
         )
         for node_id in global_node_ids:
             self._capture_net.register(_StubNode(node_id))
@@ -1636,6 +1692,9 @@ class _ShardParallelRun:
 
         events_fired = self._calendar_fired + sum(f.events_fired for f in finals)
         compactions = sum(f.compactions for f in finals)
+        # Upper bound on the engine's standing footprint: per-loop heap
+        # peaks summed (the loops run concurrently over disjoint heaps).
+        peak_pending = sum(f.peak_pending for f in finals)
         evicted = sum(f.evictions for f in finals)
 
         tracer = sim._tracer
@@ -1678,6 +1737,7 @@ class _ShardParallelRun:
                     "engine": self.config.engine,
                     "events_fired": events_fired,
                     "compactions": compactions,
+                    "peak_pending": peak_pending,
                     "workers": self.workers,
                     "backend": self.driver.name,
                 },
@@ -1686,6 +1746,7 @@ class _ShardParallelRun:
             tracer.metrics.gauge("protocol.confirmed").set(len(confirmed))
             tracer.metrics.gauge("protocol.events_fired").set(events_fired)
             tracer.metrics.gauge("protocol.queue_compactions").set(compactions)
+            tracer.metrics.gauge("scheduler.peak_pending").set(peak_pending)
             if evicted:
                 tracer.metrics.gauge("protocol.txs_evicted").set(evicted)
 

@@ -23,7 +23,7 @@ from repro.chain.fees import FeePolicy
 from repro.chain.state import WorldState
 from repro.chain.transaction import Transaction
 from repro.consensus.miner import MinerBehavior, MinerIdentity
-from repro.consensus.pow import MiningProcess, PoWParameters
+from repro.consensus.pow import MiningCalendar, MiningProcess, PoWParameters
 from repro.consensus.rewards import RewardLedger
 from repro.core.bitset import Bitset
 from repro.core.miner_assignment import MinerAssignment, assign_miners
@@ -102,6 +102,22 @@ class ProtocolConfig:
         runs every shard loop in-process (always available); > 1 forks
         that many workers on platforms with ``os.fork``. Ignored by the
         other engines.
+    delivery_waves:
+        Wave-schedule fault-free broadcast/multicast fan-outs: one
+        self-re-arming :class:`~repro.net.events.DeliveryWave` heap
+        entry per broadcast instead of one push + ``Message`` per
+        recipient. Default on for the fast engines; ``False`` keeps the
+        per-event scheduling as the differential oracle (bit-identical
+        digests either way — the scale bench asserts it before timing).
+        Ignored by the legacy engine and by faulty sends, which always
+        use the per-event path.
+    mining_calendar:
+        Keep each shard's next block times in a
+        :class:`~repro.consensus.pow.MiningCalendar` array and schedule
+        only the current winner, instead of one standing heap event per
+        miner. Default on for the fast engines; ``False`` restores the
+        per-miner-event oracle. Draw order per miner is identical either
+        way, so digests match bit for bit.
     inject_batch:
         Paced streaming injection: how many transactions each injection
         tick hands the shard's nodes. ``None`` (default) keeps the
@@ -119,6 +135,13 @@ class ProtocolConfig:
         :attr:`ProtocolResult.evicted`. Also the backpressure signal:
         a paced injection tick defers (without consuming the stream)
         while any node's pool is at the limit. ``None`` = unbounded.
+    max_events:
+        Event budget for the serial engines' run loop. ``None``
+        (default) keeps the scheduler's 10^7 runaway-loop guard;
+        million-transaction campaigns with a thousand miners legally
+        fire more events than that and raise the budget explicitly.
+        The shard-parallel coordinator paces its own windows and
+        ignores this knob.
     """
 
     pow_params: PoWParameters = field(default_factory=PoWParameters.one_block_per_minute)
@@ -139,6 +162,9 @@ class ProtocolConfig:
     inject_batch: int | None = None
     inject_interval: float = 1.0
     mempool_limit: int | None = None
+    max_events: int | None = None
+    delivery_waves: bool = True
+    mining_calendar: bool = True
 
     def __post_init__(self) -> None:
         if self.engine not in ("fast", "legacy", "shard_parallel"):
@@ -354,6 +380,7 @@ class ProtocolSimulation:
                 latency=self._config.latency,
                 seed=self._config.seed,
                 faults=self._fault_model,
+                waves=self._config.delivery_waves,
             )
         else:
             from repro.net.legacy import LegacyNetwork, LegacyScheduler
@@ -368,6 +395,11 @@ class ProtocolSimulation:
         self._rewards = RewardLedger(policy=FeePolicy())
         self._nodes: dict[str, FullNode] = {}
         self._mining: dict[str, MiningProcess] = {}
+        # Mining-calendar scheduling (fast engines only): per-shard
+        # calendars built lazily in _run(); empty dict = per-miner
+        # standing events (the legacy engine and the oracle path).
+        self._miner_calendar: dict[str, MiningCalendar] = {}
+        self._calendars: list[MiningCalendar] = []
         with self._trace_scope():
             self._build_nodes()
 
@@ -658,8 +690,23 @@ class ProtocolSimulation:
                 self._config.retransmit_interval, self._retransmit_sweep
             )
 
+        if self._fast_engine and self._config.mining_calendar:
+            by_shard: dict[int, MiningCalendar] = {}
+            for public, node in self._nodes.items():
+                calendar = by_shard.get(node.shard_id)
+                if calendar is None:
+                    calendar = by_shard[node.shard_id] = MiningCalendar(
+                        self._scheduler, self._mine
+                    )
+                    self._calendars.append(calendar)
+                calendar.add(public)
+                self._miner_calendar[public] = calendar
         for public in self._nodes:
             self._schedule_mining(public)
+        for calendar in self._calendars:
+            # One armed scheduler event per shard; initial draws above
+            # happened in the same per-miner order as per-miner events.
+            calendar.rearm()
 
         target_ids = (
             self._relevant_tx_ids() if self._stream is None else set()
@@ -719,7 +766,9 @@ class ProtocolSimulation:
                 return inner_drained()
 
         self._scheduler.run(
-            until=self._config.max_duration, stop_condition=drained
+            until=self._config.max_duration,
+            stop_condition=drained,
+            max_events=self._config.max_events or 10_000_000,
         )
         confirmed = self._confirmed_ids()
         evicted = sum(n.mempool.evictions for n in self._nodes.values())
@@ -766,6 +815,7 @@ class ProtocolSimulation:
                     "engine": self._config.engine,
                     "events_fired": self._scheduler.events_fired,
                     "compactions": self._scheduler.compactions,
+                    "peak_pending": self._scheduler.peak_pending,
                 },
             )
             tracer.metrics.gauge("protocol.duration_sim_s").set(
@@ -777,6 +827,9 @@ class ProtocolSimulation:
             )
             tracer.metrics.gauge("protocol.queue_compactions").set(
                 self._scheduler.compactions
+            )
+            tracer.metrics.gauge("scheduler.peak_pending").set(
+                self._scheduler.peak_pending
             )
             if evicted:
                 tracer.metrics.gauge("protocol.txs_evicted").set(evicted)
@@ -1105,6 +1158,12 @@ class ProtocolSimulation:
 
     def _schedule_mining(self, public: str) -> None:
         delay = self._mining[public].next_block_time()
+        calendar = self._miner_calendar.get(public)
+        if calendar is not None:
+            # Array-only update; the shard calendar re-arms its single
+            # scheduler event after the current mine step returns.
+            calendar.set_next(public, self._scheduler.now + delay)
+            return
         # Bound-method dispatch: the fast engine passes args through the
         # event record; the legacy scheduler wraps them in the original
         # per-event lambda.

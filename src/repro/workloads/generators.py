@@ -204,6 +204,8 @@ def streaming_uniform_contract_workload(
     fee_low: int = 1,
     fee_high: int = 100,
     seed: int | None = None,
+    senders_per_shard: int | None = None,
+    interleave_shards: bool = False,
 ) -> TxStream:
     """:func:`uniform_contract_workload` as a bounded-memory stream.
 
@@ -212,30 +214,107 @@ def streaming_uniform_contract_workload(
     shard — drawing fees lazily from the same seeded RNG sequence, so
     ``list(stream)[:n]`` is field-identical to the list version's first
     ``n`` transactions at any scale.
+
+    ``interleave_shards`` rotates the yield order round-robin across
+    the shard slices (MaxShard, shard 1, shard 2, …, repeating) instead
+    of emitting each slice whole. Bulk ``t = 0`` injection is order-
+    insensitive, but *paced* injection replays stream order in real
+    time: slice-sequential order firehoses one shard at a time with the
+    full offered rate while every other shard idles — the hot shard's
+    mempool saturates, sheds mid-chain nonces, and the stranded tails
+    never drain. Interleaving spreads each batch evenly so per-shard
+    offered load matches the per-shard share. Within a slice the order
+    (and each sender's nonce sequence) is unchanged. Off by default:
+    the historical slice-sequential order is digest-pinned at baseline
+    scales.
+
+    ``senders_per_shard`` bounds each slice's account population:
+    transaction ``i`` is issued by sender ``i % senders_per_shard``
+    (with climbing nonces) instead of a fresh address, so every
+    per-node structure keyed by account — world state, call graph,
+    classification memo — stays O(population) while the transaction
+    count grows without bound. Reuse keeps each sender single-contract
+    (a slice's senders only ever call that slice's contract), so shard
+    classification is unchanged. In this mode fees follow a ladder
+    that strictly decreases along each sender's nonce sequence instead
+    of the seeded uniform draw: nonce order must agree with fee order,
+    because fee-greedy packing validates against sender nonces and a
+    high-fee later nonce ranked above an unpacked low-fee earlier one
+    can never confirm — a pool of such pairs never drains. The ladder
+    caps the chain depth at ``fee_high - fee_low + 1`` nonces per
+    sender; a population too small for the slice refuses loudly. The
+    default (``None``) preserves the historical
+    one-address-per-transaction naming and fee draws exactly.
     """
     if total_txs < 0:
         raise WorkloadError("total_txs cannot be negative")
     if contract_shards < 0:
         raise WorkloadError("contract_shards cannot be negative")
+    if senders_per_shard is not None and senders_per_shard < 1:
+        raise WorkloadError("senders_per_shard must be positive")
     shard_slots = contract_shards + 1
     counts = _per_shard_counts(total_txs, shard_slots)
     contracts = tuple(
         _contract_address(index + 1) for index in range(contract_shards)
     )
+    fee_span = fee_high - fee_low + 1
+    if senders_per_shard is not None:
+        depth = -(-max(counts) // senders_per_shard)  # ceil division
+        if depth > fee_span:
+            raise WorkloadError(
+                f"senders_per_shard={senders_per_shard} gives each sender "
+                f"up to {depth} nonces but the fee ladder only spans "
+                f"{fee_span} rungs ({fee_low}..{fee_high}) — fee-greedy "
+                f"selection would strand equal-fee nonce chains; use at "
+                f"least {-(-max(counts) // fee_span)} senders per shard"
+            )
+
+    def slot(i: int) -> int:
+        return i if senders_per_shard is None else i % senders_per_shard
+
+    def fee_of(i: int, drawn: int) -> int:
+        if senders_per_shard is None:
+            return drawn
+        return fee_high - (i // senders_per_shard) % fee_span
 
     def factory() -> Iterator[Transaction]:
         builder = WorkloadBuilder(seed=seed)
         fee_iter = uniform_fee_stream(fee_low, fee_high, seed=seed)
-        for i in range(counts[0]):
-            sender = _user_address(f"max-{seed}-{i}")
-            recipient = _user_address(f"maxdst-{seed}-{i}")
-            yield builder.direct_transfer(sender, recipient, fee=next(fee_iter))
-        for shard_index in range(contract_shards):
-            contract = contracts[shard_index]
-            for i in range(counts[shard_index + 1]):
-                sender = _user_address(f"c{shard_index + 1}-{seed}-{i}")
-                yield builder.contract_call(sender, contract, fee=next(fee_iter))
 
+        def make(shard_slot: int, pos: int) -> Transaction:
+            fee = fee_of(pos, next(fee_iter))
+            if shard_slot == 0:
+                return builder.direct_transfer(
+                    _user_address(f"max-{seed}-{slot(pos)}"),
+                    _user_address(f"maxdst-{seed}-{slot(pos)}"),
+                    fee=fee,
+                )
+            return builder.contract_call(
+                _user_address(f"c{shard_slot}-{seed}-{slot(pos)}"),
+                contracts[shard_slot - 1],
+                fee=fee,
+            )
+
+        if interleave_shards:
+            # Round-robin over slices: global position g maps to slice
+            # g % slots, which hands slice s exactly counts[s] turns
+            # (the extras land on the low slices, same as
+            # _per_shard_counts).
+            positions = [0] * shard_slots
+            for g in range(total_txs):
+                shard_slot = g % shard_slots
+                yield make(shard_slot, positions[shard_slot])
+                positions[shard_slot] += 1
+        else:
+            for shard_slot in range(shard_slots):
+                for pos in range(counts[shard_slot]):
+                    yield make(shard_slot, pos)
+
+    population = (
+        "" if senders_per_shard is None else f", senders={senders_per_shard}"
+    )
+    if interleave_shards:
+        population += ", interleaved"
     return TxStream(
         total=total_txs,
         contracts=contracts,
@@ -243,7 +322,7 @@ def streaming_uniform_contract_workload(
         factory=factory,
         description=(
             f"uniform_contract(total={total_txs}, shards={contract_shards}, "
-            f"seed={seed})"
+            f"seed={seed}{population})"
         ),
     )
 

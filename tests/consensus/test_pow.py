@@ -1,10 +1,18 @@
 """Tests for repro.consensus.pow."""
 
+import math
+import random
 import statistics
 
 import pytest
 
-from repro.consensus.pow import MiningProcess, PoWParameters, REFERENCE_HASHRATE
+from repro.consensus.pow import (
+    MiningCalendar,
+    MiningProcess,
+    PoWParameters,
+    REFERENCE_HASHRATE,
+)
+from repro.net.events import Scheduler
 
 
 class TestPoWParameters:
@@ -65,3 +73,157 @@ class TestMiningProcess:
 
     def test_reference_hashrate_consistency(self):
         assert REFERENCE_HASHRATE * 60.0 == pytest.approx(0x40000)
+
+    def test_prefetch_bit_equal_under_mid_buffer_retargets(self):
+        """10^4 draws with retargets landing mid-prefetch-buffer must be
+        bit-identical to sequential expovariate arithmetic.
+
+        The buffer stores raw uniforms and applies ``-log(1-u)/lambd``
+        lazily, so a retarget must affect the very next draw even when
+        the buffer already holds prefetched uniforms.
+        """
+        params = PoWParameters.one_block_per_minute()
+        process = MiningProcess(params, seed=99)
+        reference = random.Random(99)
+        # Retarget points chosen mid-buffer (PREFETCH=64): none is a
+        # multiple of 64, so stale prefetched uniforms are live at every
+        # switch.
+        retargets = {100: 2.0, 3_001: 0.5, 7_777: 3.0}
+        fraction = 1.0
+        for i in range(10_000):
+            if i in retargets:
+                fraction = retargets[i]
+                process.retarget(fraction)
+            expected = -math.log(1.0 - reference.random()) / (
+                1.0 / params.expected_interval(fraction)
+            )
+            assert process.next_block_time() == expected
+
+
+def _run_per_miner_oracle(n_miners, script, until):
+    """Reference scheme: one standing scheduler event per miner."""
+    scheduler = Scheduler()
+    params = PoWParameters.one_block_per_minute()
+    processes = {
+        f"m{i}": MiningProcess(params, seed=1000 + i) for i in range(n_miners)
+    }
+    events = {}
+    fired = []
+
+    def mine(miner_id):
+        fired.append((scheduler.now, miner_id))
+        events[miner_id] = scheduler.schedule_in(
+            processes[miner_id].next_block_time(), mine, miner_id
+        )
+
+    for miner_id, process in processes.items():
+        events[miner_id] = scheduler.schedule_in(
+            process.next_block_time(), mine, miner_id
+        )
+
+    def control(action, miner_id, arg):
+        if action == "retarget":
+            # Cancel-and-redraw: the old pending time was drawn under
+            # the old share, replace it.
+            processes[miner_id].retarget(arg)
+            events[miner_id].cancel()
+            events[miner_id] = scheduler.schedule_in(
+                processes[miner_id].next_block_time(), mine, miner_id
+            )
+        elif action == "crash":
+            events[miner_id].cancel()
+        else:  # pragma: no cover - script typo guard
+            raise AssertionError(action)
+
+    for time, action, miner_id, arg in script:
+        scheduler.schedule_at(time, control, action, miner_id, arg)
+    scheduler.run(until=until)
+    return fired
+
+
+def _run_calendar(n_miners, script, until):
+    """Same workload through a MiningCalendar (one heap entry)."""
+    scheduler = Scheduler()
+    params = PoWParameters.one_block_per_minute()
+    processes = {
+        f"m{i}": MiningProcess(params, seed=1000 + i) for i in range(n_miners)
+    }
+    fired = []
+
+    def mine(miner_id):
+        fired.append((scheduler.now, miner_id))
+        calendar.set_next(
+            miner_id, scheduler.now + processes[miner_id].next_block_time()
+        )
+
+    calendar = MiningCalendar(scheduler, mine)
+    for miner_id, process in processes.items():
+        calendar.add(miner_id)
+        calendar.set_next(miner_id, scheduler.now + process.next_block_time())
+    calendar.rearm()
+
+    def control(action, miner_id, arg):
+        if action == "retarget":
+            processes[miner_id].retarget(arg)
+            calendar.set_next(
+                miner_id, scheduler.now + processes[miner_id].next_block_time()
+            )
+        elif action == "crash":
+            calendar.set_next(miner_id, math.inf)
+        else:  # pragma: no cover - script typo guard
+            raise AssertionError(action)
+        calendar.rearm()
+
+    for time, action, miner_id, arg in script:
+        scheduler.schedule_at(time, control, action, miner_id, arg)
+    scheduler.run(until=until)
+    return fired
+
+
+class TestMiningCalendar:
+    # 5 miners exercises the pure-python argmin, 40 the numpy mirror
+    # (when numpy is present; without it both take the python path).
+    @pytest.mark.parametrize("n_miners", [5, 40])
+    def test_differential_vs_per_miner_events(self, n_miners):
+        """Forge/retarget/crash workload: the calendar must fire the
+        exact same (time, miner) sequence as one-event-per-miner."""
+        script = [
+            (200.0, "retarget", "m2", 2.0),
+            (350.0, "crash", "m1", None),
+            (500.0, "retarget", "m0", 0.25),
+            (650.0, "crash", "m2", None),
+            (700.0, "retarget", "m3", 4.0),
+        ]
+        oracle = _run_per_miner_oracle(n_miners, script, until=2_000.0)
+        calendar = _run_calendar(n_miners, script, until=2_000.0)
+        assert calendar == oracle
+        assert len(oracle) > 20  # the workload actually forged blocks
+        assert all(miner != "m1" for time, miner in oracle if time > 350.0)
+
+    def test_single_heap_entry(self):
+        scheduler = Scheduler()
+        calendar = MiningCalendar(scheduler, lambda miner_id: None)
+        for i in range(50):
+            calendar.add(f"m{i}")
+            calendar.set_next(f"m{i}", float(i + 1))
+        calendar.rearm()
+        assert scheduler.pending == 1
+        assert scheduler.peak_pending == 1
+
+    def test_duplicate_miner_rejected(self):
+        calendar = MiningCalendar(Scheduler(), lambda miner_id: None)
+        calendar.add("m0")
+        with pytest.raises(ValueError):
+            calendar.add("m0")
+
+    def test_all_crashed_disarms(self):
+        scheduler = Scheduler()
+        calendar = MiningCalendar(scheduler, lambda miner_id: None)
+        calendar.add("m0")
+        calendar.set_next("m0", 5.0)
+        calendar.rearm()
+        assert scheduler.pending == 1
+        calendar.set_next("m0", math.inf)
+        calendar.rearm()
+        assert scheduler.pending == 0
+        assert calendar.next_time("m0") == math.inf

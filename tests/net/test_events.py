@@ -1,5 +1,7 @@
 """Tests for repro.net.events — the discrete-event engine."""
 
+import random
+
 import pytest
 
 from repro.errors import SimulationError
@@ -151,6 +153,148 @@ class TestScheduler:
         assert len(queue) == 1
         assert queue.pop() is not None
         assert queue.pop() is None
+
+    def test_wave_interleaves_exactly_like_individual_events(self):
+        """Differential oracle: a wave-scheduled fan-out fires in the
+        same order, at the same times, with the same tie-breaking as the
+        equivalent individual schedule_at calls — interleaved with
+        ordinary events and other waves."""
+        rng = random.Random(42)
+        plan = []  # ("event", time) | ("wave", [times])
+        for __ in range(40):
+            if rng.random() < 0.5:
+                plan.append(("event", round(rng.uniform(0.0, 10.0), 2)))
+            else:
+                n = rng.randint(2, 8)
+                plan.append(
+                    ("wave", [round(rng.uniform(0.0, 10.0), 2) for _ in range(n)])
+                )
+
+        def run_oracle():
+            scheduler = Scheduler()
+            fired = []
+            for idx, (kind, spec) in enumerate(plan):
+                times = [spec] if kind == "event" else spec
+                for j, time in enumerate(times):
+                    scheduler.schedule_at(
+                        time, lambda i=idx, k=j: fired.append((scheduler.now, i, k))
+                    )
+            scheduler.run()
+            return fired, scheduler.events_fired
+
+        def run_waved():
+            scheduler = Scheduler()
+            fired = []
+
+            def emit(item):
+                # Read the clock inside the callback (emit runs at pop
+                # time, before the scheduler advances ``now``).
+                idx, j = item
+                return (lambda i=idx, k=j: fired.append((scheduler.now, i, k))), ()
+
+            for idx, (kind, spec) in enumerate(plan):
+                if kind == "event":
+                    scheduler.schedule_at(
+                        spec, lambda i=idx: fired.append((scheduler.now, i, 0))
+                    )
+                else:
+                    scheduler.schedule_wave(
+                        list(spec), [(idx, j) for j in range(len(spec))], emit
+                    )
+            scheduler.run()
+            return fired, scheduler.events_fired
+
+        oracle_fired, oracle_count = run_oracle()
+        wave_fired, wave_count = run_waved()
+        assert wave_fired == oracle_fired
+        assert wave_count == oracle_count
+
+    def test_wave_equal_times_fire_in_item_order(self):
+        """Zero-jitter broadcasts: every delivery lands at the same
+        instant, and the stable sort must preserve item order — plus a
+        later wave at the same time fully drains after an earlier one."""
+        scheduler = Scheduler()
+        fired = []
+
+        def emit(tag):
+            return fired.append, (tag,)
+
+        scheduler.schedule_wave([1.0, 1.0, 1.0], ["a0", "a1", "a2"], emit)
+        scheduler.schedule_wave([1.0, 1.0], ["b0", "b1"], emit)
+        scheduler.run()
+        assert fired == ["a0", "a1", "a2", "b0", "b1"]
+
+    def test_wave_counts_toward_pending_and_events_fired(self):
+        scheduler = Scheduler()
+        scheduler.schedule_wave(
+            [1.0, 2.0, 3.0], [0, 1, 2], lambda item: (lambda: None, ())
+        )
+        assert scheduler.pending == 3
+        scheduler.run()
+        assert scheduler.pending == 0
+        assert scheduler.events_fired == 3
+
+    def test_wave_emit_is_lazy(self):
+        """Messages materialize at delivery, not at scheduling."""
+        scheduler = Scheduler()
+        emitted = []
+
+        def emit(item):
+            emitted.append(item)
+            return (lambda: None), ()
+
+        scheduler.schedule_wave([5.0, 1.0, 3.0], ["a", "b", "c"], emit)
+        assert emitted == []
+        scheduler.run(until=2.0)
+        assert emitted == ["b"]  # only the due delivery was materialized
+        scheduler.run()
+        assert emitted == ["b", "c", "a"]
+
+    def test_wave_is_one_heap_entry(self):
+        """The wave's reason to exist: fan-out at O(1) heap footprint."""
+        wave_scheduler = Scheduler()
+        wave_scheduler.schedule_wave(
+            [float(i + 1) for i in range(100)],
+            list(range(100)),
+            lambda item: (lambda: None, ()),
+        )
+        assert wave_scheduler.peak_pending == 1
+
+        event_scheduler = Scheduler()
+        for i in range(100):
+            event_scheduler.schedule_at(float(i + 1), lambda: None)
+        assert event_scheduler.peak_pending == 100
+
+    def test_drain_pending_expands_waves(self):
+        scheduler = Scheduler()
+        sink = []
+
+        def emit(tag):
+            return sink.append, (tag,)
+
+        scheduler.schedule_wave([3.0, 1.0], ["late", "early"], emit)
+        scheduler.schedule_at(2.0, sink.append, "mid")
+        drained = scheduler.drain_pending()
+        times = [time for time, __, ___ in drained]
+        assert times == [1.0, 2.0, 3.0]
+        for __, callback, args in drained:
+            callback(*args)
+        assert sink == ["early", "mid", "late"]
+        assert scheduler.pending == 0
+
+    def test_wave_in_past_rejected(self):
+        scheduler = Scheduler()
+        scheduler.schedule_in(1.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.schedule_wave(
+                [2.0, 0.5], [0, 1], lambda item: (lambda: None, ())
+            )
+
+    def test_empty_wave_is_noop(self):
+        scheduler = Scheduler()
+        assert scheduler.schedule_wave([], [], lambda item: (lambda: None, ())) is None
+        assert scheduler.pending == 0
 
     def test_compaction_preserves_order(self):
         queue = EventQueue()

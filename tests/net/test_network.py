@@ -107,10 +107,92 @@ class TestDelivery:
         with pytest.raises(NetworkError):
             network.multicast(MessageKind.TX, "n0", "p", recipients=["ghost"])
 
+    def test_multicast_unknown_recipient_names_sender_and_kind(self):
+        __, network, __nodes = make_net()
+        with pytest.raises(NetworkError, match=r"ghost.*BLOCK.*n0"):
+            network.multicast(
+                MessageKind.BLOCK, "n0", "p", recipients=["n1", "ghost"]
+            )
+
+    def test_faulty_multicast_unknown_recipient_names_sender_and_kind(self):
+        # The faulty (per-event) path must report the same diagnostic as
+        # the wave fast path.
+        from repro.faults.model import FaultModel
+        from repro.faults.plan import FaultPlan
+
+        scheduler = Scheduler()
+        network = Network(
+            scheduler,
+            latency=LatencyModel(),
+            seed=0,
+            faults=FaultModel(FaultPlan.lossy(0.5), seed=1),
+        )
+        for node in [Recorder("n0"), Recorder("n1")]:
+            network.register(node)
+        with pytest.raises(NetworkError, match=r"ghost.*TX.*n0"):
+            network.multicast(MessageKind.TX, "n0", "p", recipients=["n1", "ghost"])
+
     def test_duplicate_registration(self):
         __, network, nodes = make_net()
         with pytest.raises(NetworkError):
             network.register(nodes[0])
+
+
+class TestDeliveryWaves:
+    """The wave fast path must be observationally identical to the
+    per-event oracle (``waves=False``): same recipients, same delivery
+    times, same arrival order, same accounting."""
+
+    def _run(self, waves, n=6, seed=3):
+        scheduler = Scheduler()
+        network = Network(
+            scheduler,
+            latency=LatencyModel(base_seconds=0.05, jitter_seconds=0.1),
+            seed=seed,
+            waves=waves,
+        )
+        nodes = [Recorder(f"n{i}") for i in range(n)]
+        for node in nodes:
+            network.register(node)
+        arrivals = []
+        for node in nodes:
+            node.receive = (
+                lambda message, node=node: arrivals.append(
+                    (scheduler.now, node.node_id, message.kind, message.payload)
+                )
+            )
+        network.broadcast(MessageKind.BLOCK, "n0", payload="b1")
+        network.multicast(
+            MessageKind.TX, "n1", "t1", recipients=["n0", "n2", "n4"]
+        )
+        network.broadcast(MessageKind.BLOCK, "n2", payload="b2")
+        scheduler.run()
+        return arrivals, network.messages_delivered, scheduler.events_fired
+
+    def test_wave_matches_per_event_oracle(self):
+        wave_arrivals, wave_count, wave_fired = self._run(waves=True)
+        oracle_arrivals, oracle_count, oracle_fired = self._run(waves=False)
+        assert wave_arrivals == oracle_arrivals
+        assert wave_count == oracle_count
+        assert wave_fired == oracle_fired
+
+    def test_wave_message_fields(self):
+        scheduler, network, nodes = make_net(4)
+        network.broadcast(MessageKind.BLOCK, "n0", payload="b", shard_id=2)
+        scheduler.run()
+        for node in nodes[1:]:
+            (message,) = node.received
+            assert message.kind is MessageKind.BLOCK
+            assert message.sender == "n0"
+            assert message.recipient == node.node_id
+            assert message.payload == "b"
+            assert message.shard_id == 2
+
+    def test_broadcast_uses_single_heap_entry(self):
+        scheduler, network, __nodes = make_net(8)
+        network.broadcast(MessageKind.BLOCK, "n0", payload="b")
+        assert scheduler.pending == 7
+        assert scheduler.peak_pending == 1
 
 
 class TestAccounting:

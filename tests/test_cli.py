@@ -33,6 +33,53 @@ class TestCLI:
             main([])
 
 
+class TestMinerOverride:
+    def test_run_with_miners_pins_fig1d_axis(self, capsys):
+        assert main(["run", "fig1d", "--quick", "--miners", "30"]) == 0
+        out = capsys.readouterr().out
+        # The sweep collapses to the single requested shard size.
+        rows = [line for line in out.splitlines() if line[:1].isdigit()]
+        assert len(rows) == 1
+        assert rows[0].startswith("30")
+
+    def test_nodes_is_an_alias(self, capsys):
+        assert main(["run", "fig1d", "--quick", "--nodes", "30"]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines() if line[:1].isdigit()]
+        assert rows and rows[0].startswith("30")
+
+    def test_non_positive_miners_rejected(self, capsys):
+        assert main(["run", "fig1d", "--miners", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "positive" in err and "0" in err
+
+    def test_negative_miners_rejected(self, capsys):
+        assert main(["run", "fig1d", "--miners", "-3"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_experiment_without_miner_axis_rejected(self, capsys):
+        assert main(["run", "table1", "--quick", "--miners", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "no miner axis" in err
+        # The error teaches which experiments do take the override.
+        assert "fig1d" in err and "fig3a" in err
+
+    def test_trace_record_non_positive_miners_rejected(self, tmp_path, capsys):
+        code = main(
+            ["trace", "record", str(tmp_path / "t.jsonl"), "--miners", "0"]
+        )
+        assert code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_trace_record_nodes_alias(self, tmp_path, capsys):
+        target = tmp_path / "t.jsonl"
+        assert (
+            main(["trace", "record", str(target), "--txs", "8", "--nodes", "3"])
+            == 0
+        )
+        assert target.exists()
+
+
 class TestRunTrace:
     def test_run_quick_with_trace_dumps_jsonl(self, tmp_path, capsys):
         target = tmp_path / "fig3c.jsonl"

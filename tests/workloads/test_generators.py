@@ -136,3 +136,74 @@ class TestSingleShardWorkload:
         partition = partition_transactions(txs)
         non_empty = [s for s, size in partition.shard_sizes.items() if size]
         assert len(non_empty) == 1
+
+
+class TestStreamingPopulationAndInterleave:
+    """Campaign-scale stream knobs: bounded senders + round-robin order."""
+
+    def _stream(self, **kwargs):
+        from repro.workloads.generators import (
+            streaming_uniform_contract_workload,
+        )
+
+        return streaming_uniform_contract_workload(
+            total_txs=120, contract_shards=3, seed=9, **kwargs
+        )
+
+    def test_population_bounds_sender_set_per_slice(self):
+        txs = list(self._stream(senders_per_shard=5))
+        by_slice: dict[str | None, set[str]] = {}
+        for tx in txs:
+            by_slice.setdefault(tx.contract, set()).add(tx.sender)
+        assert len(by_slice) == 4  # MaxShard (None) + 3 contracts
+        assert all(len(s) == 5 for s in by_slice.values())
+
+    def test_population_fee_ladder_follows_nonce_order(self):
+        txs = list(self._stream(senders_per_shard=5))
+        by_sender: dict[str, list] = {}
+        for tx in txs:
+            by_sender.setdefault(tx.sender, []).append(tx)
+        for chain in by_sender.values():
+            assert [tx.nonce for tx in chain] == list(range(len(chain)))
+            fees = [tx.fee for tx in chain]
+            assert fees == sorted(fees, reverse=True)
+
+    def test_population_too_small_for_fee_ladder_refused(self):
+        from repro.workloads.generators import (
+            streaming_uniform_contract_workload,
+        )
+
+        with pytest.raises(WorkloadError, match="fee ladder"):
+            streaming_uniform_contract_workload(
+                total_txs=1000, contract_shards=0, seed=9, senders_per_shard=2
+            )
+
+    def test_interleave_rotates_slices_round_robin(self):
+        txs = list(self._stream(interleave_shards=True))
+        slices = [tx.contract for tx in txs]
+        # 4 slices, 120 txs: every window of 4 covers all slices once.
+        for start in range(0, 120, 4):
+            assert len(set(slices[start:start + 4])) == 4
+
+    def test_interleave_preserves_transaction_multiset(self):
+        def key(tx):
+            return (tx.sender, tx.nonce, tx.fee, tx.contract, tx.recipient)
+
+        plain = sorted(map(key, self._stream(senders_per_shard=5)))
+        rotated = sorted(
+            map(key, self._stream(senders_per_shard=5, interleave_shards=True))
+        )
+        assert plain == rotated
+
+    def test_interleave_keeps_per_sender_nonces_in_yield_order(self):
+        seen: dict[str, int] = {}
+        for tx in self._stream(senders_per_shard=5, interleave_shards=True):
+            assert tx.nonce == seen.get(tx.sender, 0)
+            seen[tx.sender] = tx.nonce + 1
+
+    def test_default_order_matches_list_generator(self):
+        listed = uniform_contract_workload(120, contract_shards=3, seed=9)
+        streamed = list(self._stream())
+        assert [
+            (t.sender, t.fee, t.nonce, t.contract) for t in listed
+        ] == [(t.sender, t.fee, t.nonce, t.contract) for t in streamed]
