@@ -7,10 +7,14 @@ Usage::
     python -m repro run fig3c --quick --trace fig3c.jsonl
     python -m repro all --quick           # sweep everything
 
+    python -m repro run fig3a --progress  # live heartbeat line on stderr
+
     python -m repro trace record out.jsonl --engine fast --seed 7
+    python -m repro trace record out.jsonl --heartbeat 25 --shard-stats s.json
     python -m repro trace profile out.jsonl
     python -m repro trace diff fast.jsonl legacy.jsonl
     python -m repro trace digest out.jsonl
+    python -m repro trace shards s.json   # shard-load report + imbalance
 
     python -m repro bench history         # BENCH_*.json trajectory table
     python -m repro bench check           # nonzero exit on a regression
@@ -68,6 +72,23 @@ def _run_traced(
     )
 
 
+def _progress_scope(enabled: bool):
+    """A live-heartbeat telemetry scope (or a no-op when disabled).
+
+    Every protocol run launched inside the scope inherits the
+    telemetry via :func:`repro.observe.resolve_telemetry`, prints a
+    progress line per heartbeat to stderr, and — because heartbeats
+    never touch the tracer or the RNG — leaves digests untouched.
+    """
+    import contextlib
+
+    if not enabled:
+        return contextlib.nullcontext()
+    from repro.observe import Telemetry, use_telemetry
+
+    return use_telemetry(Telemetry(heartbeat_interval=5.0, progress=True))
+
+
 # ----------------------------------------------------------------------
 # trace subcommands
 # ----------------------------------------------------------------------
@@ -77,7 +98,7 @@ def _trace_record(args) -> int:
     from repro.consensus.pow import PoWParameters
     from repro.faults.plan import FaultPlan
     from repro.net.network import LatencyModel
-    from repro.observe import Tracer
+    from repro.observe import Telemetry, Tracer
     from repro.sim.protocol import ProtocolConfig, ProtocolSimulation
     from repro.workloads import (
         streaming_uniform_contract_workload,
@@ -101,6 +122,14 @@ def _trace_record(args) -> int:
     tracer = Tracer(
         lineage=lineage, sink=args.output if args.sink else None
     )
+    telemetry: Telemetry | bool = False
+    if args.heartbeat is not None or args.progress or args.shard_stats:
+        interval = args.heartbeat
+        if interval is None and args.progress:
+            interval = 5.0
+        telemetry = Telemetry(
+            heartbeat_interval=interval, progress=args.progress
+        )
     config = ProtocolConfig(
         pow_params=PoWParameters(difficulty=0x40000 // 60),
         latency=LatencyModel(base_seconds=0.01, jitter_seconds=0.01),
@@ -117,6 +146,7 @@ def _trace_record(args) -> int:
         inject_batch=args.inject_batch,
         inject_interval=args.inject_interval,
         mempool_limit=args.mempool_limit,
+        telemetry=telemetry,
     )
     result = ProtocolSimulation(
         miners, workload, config=config, unified=args.unified
@@ -134,6 +164,15 @@ def _trace_record(args) -> int:
         f"confirmed={result.confirmed_count()})"
     )
     print(f"digest {trace.digest()}")
+    if result.shard_stats is not None:
+        print(result.shard_stats.render(title="shard load"))
+        if args.shard_stats:
+            import json
+
+            with open(args.shard_stats, "w", encoding="utf-8") as handle:
+                json.dump(result.shard_stats.as_dict(), handle, indent=2)
+                handle.write("\n")
+            print(f"shard stats written to {args.shard_stats}")
     return 0
 
 
@@ -160,6 +199,27 @@ def _trace_digest(args) -> int:
     from repro.observe import digest_of_jsonl
 
     print(digest_of_jsonl(args.trace))
+    return 0
+
+
+def _trace_shards(args) -> int:
+    """Render a recorded shard-load report (traffic matrix + imbalance)."""
+    import json
+
+    from repro.errors import SimulationError
+    from repro.observe import ShardStats
+
+    path = pathlib.Path(args.stats)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"{path}: corrupt shard-stats JSON: {exc.msg}") from exc
+    if not isinstance(payload, dict):
+        raise SimulationError(
+            f"{path}: expected a JSON object, got {type(payload).__name__}"
+        )
+    stats = ShardStats.from_dict(payload)
+    print(stats.render(title=path.name))
     return 0
 
 
@@ -306,10 +366,20 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="dump the run's JSONL trace here and print its digest",
     )
+    run_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live heartbeat line on stderr while the runs execute",
+    )
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--quick", action="store_true", help="trimmed sweeps")
     all_parser.add_argument("--seed", type=int, default=0)
+    all_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live heartbeat line on stderr while the runs execute",
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="render a markdown reproduction report"
@@ -384,6 +454,25 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bounded mempool: evict lowest-fee txs above this size",
     )
+    record.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="telemetry heartbeat interval in sim seconds "
+        "(digest-neutral; implies a final shard-load report)",
+    )
+    record.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live heartbeat line per sample to stderr",
+    )
+    record.add_argument(
+        "--shard-stats",
+        metavar="PATH",
+        default=None,
+        help="write the shard-load report as JSON (see 'trace shards')",
+    )
 
     profile = trace_sub.add_parser(
         "profile",
@@ -404,6 +493,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "digest", help="recompute a trace file's wall-excluding digest"
     )
     digest.add_argument("trace", help="JSONL trace path")
+
+    shards = trace_sub.add_parser(
+        "shards",
+        help="shard-load report from a recorded shard-stats JSON file",
+    )
+    shards.add_argument(
+        "stats", help="shard-stats JSON path (trace record --shard-stats)"
+    )
 
     scenario_parser = subparsers.add_parser(
         "scenario", help="adversarial scenarios through the full engine"
@@ -494,23 +591,24 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         try:
-            if args.trace:
-                _run_traced(
-                    args.experiment,
-                    args.quick,
-                    args.seed,
-                    args.trace,
-                    miners=args.miners,
-                )
-            else:
-                _print_result(
-                    run_experiment(
+            with _progress_scope(args.progress):
+                if args.trace:
+                    _run_traced(
                         args.experiment,
-                        quick=args.quick,
-                        seed=args.seed,
+                        args.quick,
+                        args.seed,
+                        args.trace,
                         miners=args.miners,
                     )
-                )
+                else:
+                    _print_result(
+                        run_experiment(
+                            args.experiment,
+                            quick=args.quick,
+                            seed=args.seed,
+                            miners=args.miners,
+                        )
+                    )
         except (ReproError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -536,6 +634,7 @@ def main(argv: list[str] | None = None) -> int:
             "profile": _trace_profile,
             "diff": _trace_diff,
             "digest": _trace_digest,
+            "shards": _trace_shards,
         }[args.trace_command]
         try:
             return handler(args)
@@ -565,8 +664,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    for experiment_id in experiment_ids():
-        _print_result(run_experiment(experiment_id, quick=args.quick, seed=args.seed))
+    with _progress_scope(getattr(args, "progress", False)):
+        for experiment_id in experiment_ids():
+            _print_result(
+                run_experiment(experiment_id, quick=args.quick, seed=args.seed)
+            )
     return 0
 
 

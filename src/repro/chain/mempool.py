@@ -59,6 +59,9 @@ class Mempool:
         #: How many admissions the bound turned away (evicted resident
         #: or refused incoming) — surfaced as ``ProtocolResult.evicted``.
         self.evictions = 0
+        #: High-water mark of resident transactions — the per-shard
+        #: mempool pressure signal telemetry reports.
+        self.peak = 0
         # The ranked view: pool transactions in (-fee, tx_id) order plus
         # up to ``_ranked_stale`` entries that already left the pool.
         self._ranked: list[Transaction] | None = None
@@ -91,6 +94,8 @@ class Mempool:
                 return False
             self._evict(worst)
         self._pool[tx.tx_id] = tx
+        if len(self._pool) > self.peak:
+            self.peak = len(self._pool)
         if self._ranked is not None:
             self._insert_ranked(tx)
         return True

@@ -12,6 +12,11 @@ behavior a first-class, *reproducible* output:
   regression oracle.
 * :class:`MetricsRegistry` — deterministic counters/gauges/histograms
   (blocks forged, rounds to convergence, tasks fanned out).
+* :mod:`repro.observe.telemetry` — run heartbeats (events/s, per-shard
+  mempool depth, peak RSS), per-shard load accounting with a
+  cross-shard traffic matrix and imbalance indices, and shard-parallel
+  worker busy/stall profiles. All wall-clock readings stay out of the
+  trace digest, so telemetry on/off never changes a recorded baseline.
 * :mod:`repro.observe.export` — JSONL export plus a human-readable
   per-phase summary, the sharding-survey-style breakdown (per-phase
   latencies, per-shard timelines) end-to-end counters cannot give.
@@ -40,6 +45,8 @@ from repro.observe.analysis import (
     build_lineages,
     build_phase_profiles,
     diff_traces,
+    gini,
+    imbalance_indices,
     render_diff,
     render_profile,
     shard_latency_histograms,
@@ -61,10 +68,23 @@ from repro.observe.history import (
     load_bench_records,
     render_check,
     render_history,
+    resource_metrics,
     tracked_metrics,
     utc_timestamp,
 )
 from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observe.telemetry import (
+    HeartbeatSample,
+    ShardLoad,
+    ShardStats,
+    Telemetry,
+    build_traffic_matrix,
+    get_telemetry,
+    peak_rss_kb,
+    resolve_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
 from repro.observe.tracer import (
     TRACE_ENV,
     TraceRecord,
@@ -82,10 +102,14 @@ __all__ = [
     "BenchRecord",
     "Counter",
     "Gauge",
+    "HeartbeatSample",
     "Histogram",
     "MetricsRegistry",
     "PhaseProfile",
     "RegressionFinding",
+    "ShardLoad",
+    "ShardStats",
+    "Telemetry",
     "TraceDiff",
     "TraceRecord",
     "Tracer",
@@ -93,25 +117,34 @@ __all__ = [
     "as_payloads",
     "build_lineages",
     "build_phase_profiles",
+    "build_traffic_matrix",
     "check_regressions",
     "diff_traces",
     "digest_of_jsonl",
+    "get_telemetry",
     "get_tracer",
+    "gini",
     "git_revision",
+    "imbalance_indices",
     "load_bench_records",
     "merge_tagged_records",
+    "peak_rss_kb",
     "read_jsonl",
     "render_check",
     "render_diff",
     "render_history",
     "render_profile",
     "render_trace_summary",
+    "resolve_telemetry",
     "resolve_tracer",
+    "resource_metrics",
+    "set_telemetry",
     "set_tracer",
     "shard_latency_histograms",
     "trace_digest",
     "tracked_metrics",
     "tracing_enabled",
+    "use_telemetry",
     "use_tracer",
     "utc_timestamp",
     "write_jsonl",

@@ -30,6 +30,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.errors import ConfigError
 from repro.observe.export import read_jsonl
 from repro.observe.metrics import Histogram
 
@@ -63,6 +64,47 @@ def as_payloads(source) -> list[dict]:
 def identity_of(payload: dict) -> dict:
     """The deterministic projection of one payload (wall stripped)."""
     return {key: value for key, value in payload.items() if key != "wall"}
+
+
+# ----------------------------------------------------------------------
+# load-imbalance indices
+# ----------------------------------------------------------------------
+def gini(values: Iterable[float]) -> float:
+    """Gini coefficient of a non-negative load distribution.
+
+    0.0 is perfectly balanced (every shard carries the same load), 1.0
+    is maximally concentrated. Computed with the exact mean-absolute-
+    difference formula over the sorted values; an empty or all-zero
+    distribution is balanced by definition.
+    """
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    total = sum(ordered)
+    if n == 0 or total == 0.0:
+        return 0.0
+    if any(v < 0 for v in ordered):
+        raise ConfigError("gini requires non-negative values")
+    weighted = sum((2 * (i + 1) - n - 1) * v for i, v in enumerate(ordered))
+    return weighted / (n * total)
+
+
+def imbalance_indices(values: Iterable[float]) -> dict[str, float]:
+    """Max/mean ratio and Gini coefficient of a per-shard load column.
+
+    ``max_over_mean`` is 1.0 when balanced and → n when one shard
+    carries everything; together with :func:`gini` these are the
+    hotspot signals a dynamic re-sharding policy would act on.
+    """
+    data = [float(v) for v in values]
+    mean = sum(data) / len(data) if data else 0.0
+    max_over_mean = (max(data) / mean) if mean > 0 else 0.0
+    return {
+        "shards": float(len(data)),
+        "mean": mean,
+        "max": max(data) if data else 0.0,
+        "max_over_mean": max_over_mean,
+        "gini": gini(data),
+    }
 
 
 # ----------------------------------------------------------------------

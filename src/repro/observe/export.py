@@ -141,6 +141,29 @@ def _shard_timeline(records: "list[TraceRecord]") -> list[str]:
     return lines
 
 
+def _eviction_lines(tracer: "Tracer") -> list[str]:
+    """Per-shard eviction counts from ``mempool.evictions.shard<k>`` gauges.
+
+    The protocol engines publish these only when at least one mempool
+    turned an admission away, so an empty list means no shard evicted.
+    """
+    prefix = "mempool.evictions.shard"
+    gauges = tracer.metrics.snapshot()["gauges"]
+    by_shard: list[tuple[int, float]] = []
+    for name, value in gauges.items():
+        if name.startswith(prefix):
+            try:
+                shard = int(name[len(prefix):])
+            except ValueError:
+                continue
+            by_shard.append((shard, value))
+    return [
+        f"  shard {shard}: {int(value)} evicted"
+        for shard, value in sorted(by_shard)
+        if value
+    ]
+
+
 def render_trace_summary(tracer: "Tracer", title: str = "trace") -> str:
     """An ``experiments.report``-style per-phase breakdown of one trace.
 
@@ -148,8 +171,14 @@ def render_trace_summary(tracer: "Tracer", title: str = "trace") -> str:
     and the record-walking shard timeline degrades to a pointer at the
     sink file once records have been spilled.
     """
+    spill = (
+        f"spilled to {tracer.sink_path}"
+        if tracer.spilled
+        else "in-memory (no spill)"
+    )
     parts = [
         f"[{title}] {len(tracer)} records, digest {tracer.digest()[:16]}…",
+        f"record buffer: {spill}",
         "per-phase record counts:",
         *_phase_table(tracer.phase_name_counts()),
     ]
@@ -163,6 +192,10 @@ def render_trace_summary(tracer: "Tracer", title: str = "trace") -> str:
         if timeline:
             parts.append("per-shard confirmation timeline:")
             parts.extend(timeline)
+    evictions = _eviction_lines(tracer)
+    if evictions:
+        parts.append("per-shard mempool evictions:")
+        parts.extend(evictions)
     parts.append("metrics:")
     parts.append(tracer.metrics.render())
     cache_lines = _cache_lines()

@@ -173,6 +173,41 @@ def tracked_metrics(record: BenchRecord) -> dict[str, float]:
     return metrics
 
 
+def _is_resource(key: str) -> bool:
+    # Scheduler pressure and memory high-water marks. Lower is better,
+    # so they must never enter tracked_metrics (whose regression rule
+    # is higher-is-better); they are context columns, not gates.
+    return "peak_pending" in key or "rss" in key
+
+
+def resource_metrics(record: BenchRecord) -> dict[str, float]:
+    """Resource high-water marks by dotted path (informational).
+
+    Same payload walk as :func:`tracked_metrics`, but collecting
+    ``peak_pending`` (scheduler heap high-water) and ``*rss*`` (peak
+    resident set, KiB) figures the telemetry layer stamps into bench
+    records. Reported by ``bench history``, never gated on.
+    """
+    metrics: dict[str, float] = {}
+
+    def walk(node, prefix: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                path = f"{prefix}.{key}" if prefix else key
+                if isinstance(value, (dict, list)):
+                    walk(value, path)
+                elif isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ) and _is_resource(key):
+                    metrics[path] = float(value)
+        elif isinstance(node, list):
+            for i, value in enumerate(node):
+                walk(value, f"{prefix}[{i}]")
+
+    walk(record.payload, "")
+    return metrics
+
+
 def render_history(records: list[BenchRecord]) -> str:
     """The trajectory table: every record, its stamp, its metrics."""
     if not records:
@@ -196,6 +231,8 @@ def render_history(records: list[BenchRecord]) -> str:
                 lines.append(f"    ! {problem}")
         for path, value in sorted(tracked_metrics(record).items()):
             lines.append(f"    {path} = {value:g}")
+        for path, value in sorted(resource_metrics(record).items()):
+            lines.append(f"    {path} = {value:g}  [resource]")
     return "\n".join(lines)
 
 

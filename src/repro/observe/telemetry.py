@@ -1,0 +1,501 @@
+"""Shard-load telemetry: heartbeats, per-shard stats, worker profiling.
+
+Three measurement surfaces, all digest-neutral by construction:
+
+* **Heartbeats** — periodic snapshots taken *during* a run at fixed
+  sim-time intervals. The deterministic fields of a
+  :class:`HeartbeatSample` (sim time, injected/confirmed/evicted
+  counts, per-shard mempool depths) are pure functions of simulation
+  state, so two same-seed runs produce identical sample sequences.
+  Every wall-clock or host-dependent quantity (elapsed seconds,
+  events/s, ``ru_maxrss``, scheduler ``pending``) lives in the sample's
+  ``wall`` sidecar, mirroring the trace-record contract. Heartbeats
+  never emit trace events and never consume simulation randomness,
+  which is what keeps digests bit-identical with telemetry on or off.
+* **Shard load accounting** — :class:`ShardStats` aggregates per-shard
+  blocks forged, empty-block rates, confirmed transactions, mempool
+  high-water marks, evictions, and the cross-shard traffic matrix
+  (home shard → executed shard; column 0 is the MaxShard serialization
+  sink from Sec. III-A). Imbalance indices (max/mean, Gini) come from
+  :mod:`repro.observe.analysis` and are the live signals the dynamic
+  re-sharding roadmap item needs.
+* **Worker profiling** — the shard-parallel engine feeds per-loop busy
+  time, barrier stalls, lookahead window widths, and replayed
+  ``SendIntent`` counts into ``Telemetry.metrics`` (a
+  :class:`~repro.observe.metrics.MetricsRegistry`; fork workers are
+  folded in via ``MetricsRegistry.merge``).
+
+The module mirrors the tracer's scope plumbing: ``use_telemetry``
+installs an active collector, ``resolve_telemetry`` is what engines
+call with the config knob.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+import time as _time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, TextIO
+
+from repro.errors import ConfigError
+from repro.observe.analysis import imbalance_indices
+from repro.observe.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chain.transaction import Transaction
+    from repro.core.shard_formation import ShardMap
+
+
+def _maxshard_id() -> int:
+    """The MaxShard's shard id, imported lazily.
+
+    ``repro.observe`` sits below ``repro.core`` in the import order
+    (``runtime.executor`` pulls observe in while ``chain`` is still
+    initializing), so the constant cannot be imported at module level
+    without closing a cycle.
+    """
+    from repro.core.shard_formation import MAXSHARD_ID
+
+    return MAXSHARD_ID
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+#: Sim-time seconds between heartbeats when a caller asks for
+#: telemetry without choosing an interval (``telemetry=True``).
+DEFAULT_HEARTBEAT_INTERVAL = 50.0
+
+
+def peak_rss_kb() -> int | None:
+    """This process's peak resident set size in KiB (None off-POSIX)."""
+    if _resource is None:
+        return None
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    rss = usage.ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover
+        rss //= 1024
+    return int(rss)
+
+
+# ----------------------------------------------------------------------
+# heartbeat samples
+# ----------------------------------------------------------------------
+@dataclass
+class HeartbeatSample:
+    """One mid-run snapshot.
+
+    The dataclass fields other than ``wall`` are deterministic
+    functions of simulation state; ``wall`` carries everything
+    host-dependent (elapsed wall seconds, events/s, scheduler pending
+    levels, peak RSS) and must never feed back into the simulation.
+    """
+
+    time: float
+    injected: int
+    confirmed: int
+    evicted: int
+    pool_depths: dict[int, int]
+    wall: dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "time": self.time,
+            "injected": self.injected,
+            "confirmed": self.confirmed,
+            "evicted": self.evicted,
+            "pool_depths": {str(k): v for k, v in sorted(self.pool_depths.items())},
+        }
+        if self.wall:
+            payload["wall"] = dict(self.wall)
+        return payload
+
+
+class Telemetry:
+    """Run-scoped collector for heartbeats, shard stats and profiling.
+
+    ``heartbeat_interval`` is in *simulated* seconds; ``None`` disables
+    periodic sampling but still collects shard stats and worker
+    profiles. ``progress=True`` prints one live line per heartbeat to
+    ``stream`` (stderr by default), the opt-in campaign monitor for
+    10^6-tx streamed runs.
+    """
+
+    def __init__(
+        self,
+        heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
+        progress: bool = False,
+        stream: TextIO | None = None,
+        expected_txs: int | None = None,
+    ) -> None:
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ConfigError(
+                f"heartbeat_interval must be positive: got {heartbeat_interval}"
+            )
+        self.heartbeat_interval = heartbeat_interval
+        self.progress = progress
+        self.stream = stream
+        self.expected_txs = expected_txs
+        self.samples: list[HeartbeatSample] = []
+        self.metrics = MetricsRegistry()
+        #: Per-worker busy/stall attribution, filled by the
+        #: shard-parallel engine: shard id -> {"busy_s", "stall_s", ...}.
+        self.worker_profile: dict[int, dict[str, float]] = {}
+        self.shard_stats: "ShardStats | None" = None
+        self._wall_start: float | None = None
+        self._last_wall: float | None = None
+        self._last_events: int = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Mark the wall-clock origin of the run (engines call this)."""
+        self._wall_start = _time.perf_counter()
+        self._last_wall = self._wall_start
+        self._last_events = 0
+
+    # -- sampling ------------------------------------------------------
+    def heartbeat(
+        self,
+        *,
+        time: float,
+        injected: int,
+        confirmed: int,
+        evicted: int,
+        pool_depths: dict[int, int],
+        events_fired: int | None = None,
+        pending: int | None = None,
+        peak_pending: int | None = None,
+    ) -> HeartbeatSample:
+        """Record one snapshot; deterministic fields only in the body."""
+        now = _time.perf_counter()
+        wall: dict[str, object] = {}
+        if self._wall_start is not None:
+            wall["wall_s"] = round(now - self._wall_start, 6)
+        if events_fired is not None:
+            wall["events_fired"] = events_fired
+            if self._last_wall is not None and now > self._last_wall:
+                delta = events_fired - self._last_events
+                wall["events_per_s"] = round(delta / (now - self._last_wall), 1)
+            self._last_events = events_fired
+        if pending is not None:
+            wall["pending"] = pending
+        if peak_pending is not None:
+            wall["peak_pending"] = peak_pending
+        rss = peak_rss_kb()
+        if rss is not None:
+            wall["rss_kb"] = rss
+        self._last_wall = now
+        sample = HeartbeatSample(
+            time=time,
+            injected=injected,
+            confirmed=confirmed,
+            evicted=evicted,
+            pool_depths=dict(sorted(pool_depths.items())),
+            wall=wall,
+        )
+        self.samples.append(sample)
+        if self.progress:
+            self._print_progress(sample)
+        return sample
+
+    def _print_progress(self, sample: HeartbeatSample) -> None:
+        stream = self.stream if self.stream is not None else sys.stderr
+        pool = sum(sample.pool_depths.values())
+        parts = [
+            f"t={sample.time:10.1f}",
+            f"injected={sample.injected}",
+            f"confirmed={sample.confirmed}",
+        ]
+        if self.expected_txs:
+            pct = 100.0 * sample.confirmed / self.expected_txs
+            parts.append(f"({pct:5.1f}%)")
+        parts.append(f"evicted={sample.evicted}")
+        parts.append(f"pool={pool}")
+        eps = sample.wall.get("events_per_s")
+        if eps is not None:
+            parts.append(f"ev/s={eps:,.0f}")
+        rss = sample.wall.get("rss_kb")
+        if isinstance(rss, int):
+            parts.append(f"rss={rss / 1024:.0f}MiB")
+        print("[heartbeat] " + " ".join(parts), file=stream, flush=True)
+
+
+# ----------------------------------------------------------------------
+# per-shard load accounting
+# ----------------------------------------------------------------------
+@dataclass
+class ShardLoad:
+    """One shard's load summary over a run."""
+
+    shard: int
+    blocks_forged: int = 0
+    blocks_empty: int = 0
+    txs_confirmed: int = 0
+    mempool_peak: int = 0
+    evictions: int = 0
+
+    @property
+    def empty_block_rate(self) -> float:
+        """Fraction of forged blocks that carried no transactions.
+
+        The paper's merging game (Sec. III-C) exists to price exactly
+        this waste: an over-sharded system forges blocks faster than
+        transactions arrive.
+        """
+        if self.blocks_forged == 0:
+            return 0.0
+        return self.blocks_empty / self.blocks_forged
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "shard": self.shard,
+            "blocks_forged": self.blocks_forged,
+            "blocks_empty": self.blocks_empty,
+            "txs_confirmed": self.txs_confirmed,
+            "mempool_peak": self.mempool_peak,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class ShardStats:
+    """Cross-shard load picture for one run.
+
+    ``traffic`` is the cross-shard matrix: ``traffic[home][executed]``
+    counts transactions whose *contract* lives on shard ``home`` but
+    which the Sec. III-A rule routed to shard ``executed``. The
+    diagonal is cleanly sharded traffic; column ``0`` (MaxShard) is
+    serialized cross-shard traffic; row ``0`` is direct transfers and
+    calls to contracts that never got their own shard.
+    """
+
+    loads: dict[int, ShardLoad] = field(default_factory=dict)
+    traffic: dict[int, dict[int, int]] = field(default_factory=dict)
+
+    def load(self, shard: int) -> ShardLoad:
+        entry = self.loads.get(shard)
+        if entry is None:
+            entry = self.loads[shard] = ShardLoad(shard=shard)
+        return entry
+
+    def record_route(self, home: int, executed: int, count: int = 1) -> None:
+        row = self.traffic.setdefault(home, {})
+        row[executed] = row.get(executed, 0) + count
+
+    # -- aggregate views ----------------------------------------------
+    @property
+    def total_blocks(self) -> int:
+        return sum(entry.blocks_forged for entry in self.loads.values())
+
+    @property
+    def total_confirmed(self) -> int:
+        return sum(entry.txs_confirmed for entry in self.loads.values())
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(entry.evictions for entry in self.loads.values())
+
+    @property
+    def total_routed(self) -> int:
+        """Every transaction the traffic matrix classified."""
+        return sum(sum(row.values()) for row in self.traffic.values())
+
+    @property
+    def maxshard_serialized(self) -> int:
+        """Transactions homed on a real shard but executed on MaxShard.
+
+        This is the cross-shard serialization cost the traffic matrix
+        exists to expose: each such transaction forces the MaxShard to
+        order state touching another shard's contract.
+        """
+        maxshard = _maxshard_id()
+        return sum(
+            row.get(maxshard, 0)
+            for home, row in self.traffic.items()
+            if home != maxshard
+        )
+
+    def imbalance(self, key: str = "txs_confirmed") -> dict[str, float]:
+        """Max/mean and Gini over a per-shard load column.
+
+        Only real shards participate — the MaxShard is a structural
+        serialization point, not a symptom of bad placement.
+        """
+        maxshard = _maxshard_id()
+        values = []
+        for shard in sorted(self.loads):
+            if shard == maxshard:
+                continue
+            entry = self.loads[shard]
+            value = getattr(entry, key, None)
+            if value is None:
+                raise ConfigError(f"unknown shard-load column {key!r}")
+            values.append(float(value))
+        return imbalance_indices(values)
+
+    # -- (de)serialization --------------------------------------------
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "loads": [
+                self.loads[shard].as_dict() for shard in sorted(self.loads)
+            ],
+            "traffic": {
+                str(home): {
+                    str(executed): count
+                    for executed, count in sorted(row.items())
+                }
+                for home, row in sorted(self.traffic.items())
+            },
+            "imbalance": self.imbalance(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardStats":
+        stats = cls()
+        for entry in payload.get("loads", ()):
+            shard = int(entry["shard"])
+            stats.loads[shard] = ShardLoad(
+                shard=shard,
+                blocks_forged=int(entry.get("blocks_forged", 0)),
+                blocks_empty=int(entry.get("blocks_empty", 0)),
+                txs_confirmed=int(entry.get("txs_confirmed", 0)),
+                mempool_peak=int(entry.get("mempool_peak", 0)),
+                evictions=int(entry.get("evictions", 0)),
+            )
+        for home, row in payload.get("traffic", {}).items():
+            for executed, count in row.items():
+                stats.record_route(int(home), int(executed), int(count))
+        return stats
+
+    def render(self, title: str = "shard load") -> str:
+        """The ``trace shards`` report."""
+        lines = [f"[{title}] {len(self.loads)} shards, "
+                 f"{self.total_blocks} blocks, "
+                 f"{self.total_confirmed} txs confirmed"]
+        if self.loads:
+            lines.append(
+                "  shard   blocks   empty  empty%   txs_conf  pool_peak  evicted"
+            )
+            maxshard = _maxshard_id()
+            for shard in sorted(self.loads):
+                e = self.loads[shard]
+                tag = "max" if shard == maxshard else f"{shard:3d}"
+                lines.append(
+                    f"  {tag:>5}  {e.blocks_forged:7d}  {e.blocks_empty:6d}  "
+                    f"{100.0 * e.empty_block_rate:5.1f}%  {e.txs_confirmed:9d}  "
+                    f"{e.mempool_peak:9d}  {e.evictions:7d}"
+                )
+        if self.traffic:
+            shards = sorted(
+                set(self.traffic) | {s for row in self.traffic.values() for s in row}
+            )
+            lines.append(
+                "cross-shard traffic matrix (rows: home shard, "
+                "cols: executing shard; col 0 = MaxShard serialization):"
+            )
+            header = "  home\\exec" + "".join(f"{s:>8d}" for s in shards)
+            lines.append(header)
+            for home in shards:
+                row = self.traffic.get(home, {})
+                cells = "".join(f"{row.get(s, 0):>8d}" for s in shards)
+                lines.append(f"  {home:>9d}{cells}")
+            lines.append(
+                f"  routed={self.total_routed} "
+                f"maxshard_serialized={self.maxshard_serialized}"
+            )
+        imbalance = self.imbalance()
+        lines.append(
+            "imbalance over real shards (txs confirmed): "
+            f"max/mean={imbalance['max_over_mean']:.3f} "
+            f"gini={imbalance['gini']:.3f}"
+        )
+        return "\n".join(lines)
+
+
+def build_traffic_matrix(
+    transactions: Iterable[Transaction],
+    shard_map: ShardMap,
+    callgraph,
+) -> dict[int, dict[int, int]]:
+    """Home-shard → executed-shard counts for a *list* workload.
+
+    Streaming runs accumulate the matrix incrementally at injection
+    time instead (classification depends on the evolving call graph);
+    for list workloads the call graph saw every transaction before the
+    run started, so post-hoc classification is exact.
+    """
+    maxshard = _maxshard_id()
+    traffic: dict[int, dict[int, int]] = {}
+    for tx in transactions:
+        home = maxshard
+        if tx.contract is not None:
+            home = shard_map.contract_to_shard.get(tx.contract, maxshard)
+        executed = shard_map.shard_of_transaction(tx, callgraph)
+        row = traffic.setdefault(home, {})
+        row[executed] = row.get(executed, 0) + 1
+    return traffic
+
+
+# ----------------------------------------------------------------------
+# scope plumbing (mirrors repro.observe.tracer)
+# ----------------------------------------------------------------------
+_ACTIVE: list[Telemetry] = []
+
+
+def set_telemetry(telemetry: Telemetry | None) -> None:
+    """Install (or clear) the process-wide active telemetry collector."""
+    _ACTIVE.clear()
+    if telemetry is not None:
+        _ACTIVE.append(telemetry)
+
+
+def get_telemetry() -> Telemetry | None:
+    """The active collector installed by :func:`use_telemetry`, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextlib.contextmanager
+def use_telemetry(telemetry: Telemetry):
+    """Scope a telemetry collector over a block of runs."""
+    _ACTIVE.append(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE.remove(telemetry)
+
+
+def resolve_telemetry(
+    setting: "Telemetry | bool | None",
+) -> Telemetry | None:
+    """Interpret an engine config's ``telemetry`` knob.
+
+    An instance is used as-is; ``True`` builds a fresh collector with
+    the default heartbeat interval; ``False`` forces telemetry off even
+    inside a ``use_telemetry`` scope; ``None`` joins the active scope
+    if one exists (so ``run --progress`` can wrap any entry point).
+    """
+    if isinstance(setting, Telemetry):
+        return setting
+    if setting is True:
+        return Telemetry()
+    if setting is False:
+        return None
+    return get_telemetry()
+
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "HeartbeatSample",
+    "ShardLoad",
+    "ShardStats",
+    "Telemetry",
+    "build_traffic_matrix",
+    "get_telemetry",
+    "peak_rss_kb",
+    "resolve_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+]

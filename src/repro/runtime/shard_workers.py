@@ -94,16 +94,20 @@ import itertools
 import math
 import os
 from collections import defaultdict
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.consensus.pow import MiningCalendar
 from repro.core.bitset import Bitset
+from repro.core.shard_formation import MAXSHARD_ID
 from repro.faults.model import FaultModel
 from repro.faults.plan import FaultStats
 from repro.net.events import Scheduler
 from repro.net.messages import Message, MessageKind
 from repro.net.network import Network
 from repro.observe import Tracer, merge_tagged_records, use_tracer
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.telemetry import ShardStats, build_traffic_matrix
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import FullNode
@@ -266,6 +270,14 @@ class LoopFinal:
     # faulty t=0 path a final-window overrun could overcount, the same
     # caveat metrics counters carry.
     evictions: int = 0
+    # Worker profiling (telemetry): measured wall seconds this loop
+    # spent firing events inside windows, windows executed, the shard's
+    # mempool high-water mark, and the loop's private deterministic
+    # profile registry (fork-safe; merged via MetricsRegistry.merge).
+    busy_s: float = 0.0
+    windows: int = 0
+    mempool_peak: int = 0
+    profile: object | None = None
 
 
 # ----------------------------------------------------------------------
@@ -407,6 +419,14 @@ class ShardLoop:
         self._event_time = 0.0
         self._event_ordinal = 0
         self._intent_index = 0
+
+        # Worker profiling (telemetry): busy wall seconds inside
+        # windows plus a private deterministic-counter registry the
+        # coordinator merges at finalize (the fork-aggregation path).
+        self._profiled = sim._telemetry is not None
+        self.busy_s = 0.0
+        self.windows = 0
+        self.profile = MetricsRegistry() if self._profiled else None
 
     # -- tracer scope ---------------------------------------------------
     def _scope(self):
@@ -643,6 +663,8 @@ class ShardLoop:
                 self.scheduler.schedule_at(
                     time, self._deliver_event, node_id, message
                 )
+        started = perf_counter() if self._profiled else 0.0
+        fired_before = self.scheduler.events_fired
         with self._scope():
             while True:
                 event = self.scheduler.advance_due(bound)
@@ -661,6 +683,14 @@ class ShardLoop:
                 self._intent_index = 0
                 event.fire()
                 self._post_event(event.time, ordinal, node)
+        if self._profiled:
+            self.busy_s += perf_counter() - started
+            self.windows += 1
+            profile = self.profile
+            profile.counter(f"worker.shard{self.shard}.windows").inc()
+            profile.counter(f"worker.shard{self.shard}.events").inc(
+                self.scheduler.events_fired - fired_before
+            )
         return self.drain_report()
 
     def drain_report(self) -> WindowReport:
@@ -722,6 +752,21 @@ class ShardLoop:
         coordinator's backpressure probe; exact between windows)."""
         return max((len(node.mempool) for node in self.nodes), default=0)
 
+    def load_sample(self) -> tuple:
+        """Read-only heartbeat probe ``(pool_depth, evictions,
+        confirmed, mempool_peak, events_fired)``; exact between windows
+        and digest-neutral (pure reads of shard-local state)."""
+        return (
+            max((len(node.mempool) for node in self.nodes), default=0),
+            sum(node.mempool.evictions for node in self.nodes),
+            max(
+                (len(node.ledger.confirmed_tx_ids()) for node in self.nodes),
+                default=0,
+            ),
+            max((node.mempool.peak for node in self.nodes), default=0),
+            self.scheduler.events_fired,
+        )
+
     def install_packet(self, rank: int, time: float) -> None:
         """The leader (who lives in this shard) installs the canonical
         packet; selection replay records emit under the directive tag."""
@@ -773,6 +818,12 @@ class ShardLoop:
                 dict(net.per_kind_messages),
             ),
             evictions=sum(node.mempool.evictions for node in self.nodes),
+            busy_s=self.busy_s,
+            windows=self.windows,
+            mempool_peak=max(
+                (node.mempool.peak for node in self.nodes), default=0
+            ),
+            profile=self.profile,
         )
 
 
@@ -806,6 +857,9 @@ class InlineDriver:
 
     def pool_loads(self) -> dict[int, int]:
         return {s: loop.pool_load() for s, loop in self._loops.items()}
+
+    def load_samples(self) -> dict[int, tuple]:
+        return {s: loop.load_sample() for s, loop in self._loops.items()}
 
     def run_windows(
         self, bound: float, deliveries: dict[int, list], due: set[int]
@@ -858,6 +912,8 @@ def _serve_shards(conn, loops: dict[int, ShardLoop]) -> None:
                     result = None
                 elif op == "pool_loads":
                     result = {s: loop.pool_load() for s, loop in loops.items()}
+                elif op == "load_samples":
+                    result = {s: loop.load_sample() for s, loop in loops.items()}
                 elif op == "window":
                     __, bound, deliveries, due = msg
                     result = {
@@ -966,6 +1022,12 @@ class ForkDriver:
             merged.update(part)
         return merged
 
+    def load_samples(self) -> dict[int, tuple]:
+        merged: dict[int, tuple] = {}
+        for part in self._call_all(("load_samples",)):
+            merged.update(part)
+        return merged
+
     def run_windows(
         self, bound: float, deliveries: dict[int, list], due: set[int]
     ) -> dict[int, WindowReport]:
@@ -1063,6 +1125,8 @@ class _ShardParallelRun:
         self.sim = sim
         self.config = sim._config
         self.traced = sim._tracer is not None
+        self.telemetry = sim._telemetry
+        self._window_wall_s = 0.0
 
         by_shard: dict[int, list] = {}
         for node in sim._nodes.values():
@@ -1156,6 +1220,18 @@ class _ShardParallelRun:
             self._push_calendar(self.config.leader_timeout, "timeout", None)
         if sim._faults_active and self.config.retransmit_interval is not None:
             self._push_calendar(self.config.retransmit_interval, "sweep", None)
+        if (
+            self.telemetry is not None
+            and self.telemetry.heartbeat_interval is not None
+        ):
+            # Heartbeats ride the coordinator calendar, NOT scheduler
+            # events (pre-scheduled scheduler events would force the
+            # inline backend). Extra calendar entries only *shrink*
+            # lookahead windows, which is results-invariant, and the
+            # handler is a pure read — digests stay bit-identical.
+            interval = self.telemetry.heartbeat_interval
+            if interval <= self.config.max_duration:
+                self._push_calendar(interval, "heartbeat", interval)
 
         self._pending: dict[int, list] = defaultdict(list)
         self._next_times: dict[int, float | None] = {}
@@ -1252,9 +1328,11 @@ class _ShardParallelRun:
         resulting deliveries — unless a stop cutoff discards them."""
         intents.sort(key=lambda i: (i.time, i.shard, i.ordinal, i.index))
         tracer = self.tracer
+        replayed = 0
         for intent in intents:
             if cutoff is not None and not _admits(cutoff, intent.time, intent.shard, intent.ordinal):
                 continue
+            replayed += 1
             self._capture_clock.now = intent.time
             if tracer is not None:
                 tracer.set_context(
@@ -1290,6 +1368,14 @@ class _ShardParallelRun:
             captured = self._drain_captured()
             if cutoff is None:
                 self._route(captured)
+        if self.telemetry is not None:
+            # Replayed-intent attribution per barrier (deterministic
+            # counts — sim-derived, never wall-clock).
+            metrics = self.telemetry.metrics
+            metrics.counter("coordinator.intents_replayed").inc(replayed)
+            metrics.histogram("coordinator.intents_per_barrier").observe(
+                replayed
+            )
 
     # -- calendar events ------------------------------------------------
     def _run_calendar_event(self, time: float, kind: str, payload) -> None:
@@ -1305,6 +1391,32 @@ class _ShardParallelRun:
             self._retransmit_sweep(time)
         elif kind == "inject":
             self._inject_stream_tick(time)
+        elif kind == "heartbeat":
+            self._heartbeat(time, payload)
+
+    def _heartbeat(self, time: float, interval: float) -> None:
+        """One telemetry snapshot between windows (pure reads), then
+        re-arm. Runs pre-window at its calendar time, so shard-local
+        state is exact as of the previous barrier."""
+        telemetry = self.telemetry
+        samples = self.driver.load_samples()
+        events = self._calendar_fired + sum(
+            sample[4] for sample in samples.values()
+        )
+        telemetry.heartbeat(
+            time=time,
+            injected=(
+                self.sim._injected
+                if self._streaming
+                else len(self.sim._transactions)
+            ),
+            confirmed=sum(sample[2] for sample in samples.values()),
+            evicted=sum(sample[1] for sample in samples.values()),
+            pool_depths={s: sample[0] for s, sample in samples.items()},
+            events_fired=events,
+        )
+        if time + interval <= self.config.max_duration:
+            self._push_calendar(time + interval, "heartbeat", interval)
 
     def _inject_stream_tick(self, time: float) -> None:
         """One paced injection step, the serial ``_inject_tick`` verbatim:
@@ -1331,9 +1443,23 @@ class _ShardParallelRun:
         batch = list(itertools.islice(sim._inject_iter, config.inject_batch))
         if batch:
             per_shard: dict[int, list] = {}
+            telemetry = self.telemetry
+            contract_to_shard = sim._shard_map.contract_to_shard
             for tx in batch:
                 sim._callgraph.observe(tx)
-                per_shard.setdefault(sim._inject_classifier(tx), []).append(tx)
+                shard = sim._inject_classifier(tx)
+                per_shard.setdefault(shard, []).append(tx)
+                if telemetry is not None:
+                    # Streaming traffic matrix: classification follows
+                    # the evolving call graph, so accumulate at
+                    # injection time (mirrors serial _inject_batch).
+                    home = (
+                        contract_to_shard.get(tx.contract, MAXSHARD_ID)
+                        if tx.contract is not None
+                        else MAXSHARD_ID
+                    )
+                    row = sim._traffic.setdefault(home, {})
+                    row[shard] = row.get(shard, 0) + 1
             # Transactions routed to unpopulated shards vanish exactly as
             # they do serially (no node of that shard exists to pool them).
             deliverable = {
@@ -1513,6 +1639,9 @@ class _ShardParallelRun:
         horizon = self.config.max_duration
         bound_cap = math.nextafter(horizon, math.inf)
         stop_on_drain = not self.config.run_to_horizon
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.start()
 
         self._inject()
         self._next_times = self.driver.schedule_initial()
@@ -1562,7 +1691,18 @@ class _ShardParallelRun:
                     for shard in list(self._pending)
                     if self._pending.get(shard)
                 }
+                window_started = (
+                    perf_counter() if telemetry is not None else 0.0
+                )
                 reports = self.driver.run_windows(bound, deliveries, due)
+                if telemetry is not None:
+                    self._window_wall_s += perf_counter() - window_started
+                    metrics = telemetry.metrics
+                    metrics.counter("coordinator.windows").inc()
+                    # Lookahead width is sim-time (deterministic).
+                    metrics.histogram("coordinator.window_width").observe(
+                        bound - t1
+                    )
                 intents: list[SendIntent] = []
                 transitions: list[tuple] = []
                 for shard, report in reports.items():
@@ -1624,6 +1764,11 @@ class _ShardParallelRun:
         from repro.sim.protocol import ProtocolResult
 
         sim = self.sim
+        telemetry = self.telemetry
+        shard_stats = ShardStats() if telemetry is not None else None
+        end_samples = (
+            self.driver.load_samples() if telemetry is not None else None
+        )
         finals = self.driver.finish()
         self.driver.close()
         for final in finals:
@@ -1665,6 +1810,11 @@ class _ShardParallelRun:
             for time, ordinal, block in self._mines[shard]:
                 if _admits(cutoff, time, shard, ordinal):
                     sim._rewards.credit_block(block)
+                    if shard_stats is not None:
+                        entry = shard_stats.load(shard)
+                        entry.blocks_forged += 1
+                        if not block.transactions:
+                            entry.blocks_empty += 1
         reasons = [
             reason
             for public in sim._nodes
@@ -1696,6 +1846,49 @@ class _ShardParallelRun:
         # peaks summed (the loops run concurrently over disjoint heaps).
         peak_pending = sum(f.peak_pending for f in finals)
         evicted = sum(f.evictions for f in finals)
+
+        if telemetry is not None:
+            for final in finals:
+                entry = shard_stats.load(final.shard)
+                entry.txs_confirmed = per_shard.get(final.shard, 0)
+                entry.mempool_peak = final.mempool_peak
+                entry.evictions = final.evictions
+                # Busy vs barrier-stall attribution: the coordinator's
+                # cumulative window wall time bounds every loop's
+                # schedule, so the gap is time spent waiting at (or
+                # for) barriers rather than firing events.
+                stall = max(0.0, self._window_wall_s - final.busy_s)
+                telemetry.worker_profile[final.shard] = {
+                    "busy_s": round(final.busy_s, 6),
+                    "stall_s": round(stall, 6),
+                    "windows": final.windows,
+                    "events": final.events_fired,
+                }
+                if final.profile is not None:
+                    telemetry.metrics.merge(final.profile)
+            if self._streaming:
+                for home, row in sorted(sim._traffic.items()):
+                    for executed, count in sorted(row.items()):
+                        shard_stats.record_route(home, executed, count)
+            else:
+                shard_stats.traffic = build_traffic_matrix(
+                    sim._transactions, sim._shard_map, sim._callgraph
+                )
+            telemetry.shard_stats = shard_stats
+            telemetry.heartbeat(
+                time=t_star,
+                injected=(
+                    sim._injected
+                    if self._streaming
+                    else len(sim._transactions)
+                ),
+                confirmed=sum(per_shard.values()),
+                evicted=evicted,
+                pool_depths={
+                    s: sample[0] for s, sample in sorted(end_samples.items())
+                },
+                events_fired=events_fired,
+            )
 
         tracer = sim._tracer
         if tracer is not None:
@@ -1749,6 +1942,11 @@ class _ShardParallelRun:
             tracer.metrics.gauge("scheduler.peak_pending").set(peak_pending)
             if evicted:
                 tracer.metrics.gauge("protocol.txs_evicted").set(evicted)
+                for final in finals:
+                    if final.evictions:
+                        tracer.metrics.gauge(
+                            f"mempool.evictions.shard{final.shard}"
+                        ).set(final.evictions)
 
         return ProtocolResult(
             duration=t_star,
@@ -1764,6 +1962,7 @@ class _ShardParallelRun:
             fault_stats=stats,
             evicted=evicted,
             trace=tracer,
+            shard_stats=shard_stats,
         )
 
 

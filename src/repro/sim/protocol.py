@@ -27,7 +27,7 @@ from repro.consensus.pow import MiningCalendar, MiningProcess, PoWParameters
 from repro.consensus.rewards import RewardLedger
 from repro.core.bitset import Bitset
 from repro.core.miner_assignment import MinerAssignment, assign_miners
-from repro.core.shard_formation import ShardMap, form_shards
+from repro.core.shard_formation import MAXSHARD_ID, ShardMap, form_shards
 from repro.errors import ConfigError, SimulationError
 from repro.faults.model import FaultModel
 from repro.faults.plan import FaultPlan, FaultStats
@@ -36,6 +36,12 @@ from repro.net.messages import Message, MessageKind
 from repro.net.network import LatencyModel, Network
 from repro.net.node import FullNode
 from repro.observe import Tracer, resolve_tracer, use_tracer
+from repro.observe.telemetry import (
+    ShardStats,
+    Telemetry,
+    build_traffic_matrix,
+    resolve_telemetry,
+)
 from repro.workloads.generators import MAX_MATERIALIZED_TXS, TxStream
 
 #: Mixed into the run seed so the fault RNG stream never mirrors the
@@ -142,6 +148,17 @@ class ProtocolConfig:
         fire more events than that and raise the budget explicitly.
         The shard-parallel coordinator paces its own windows and
         ignores this knob.
+    telemetry:
+        Shard-load telemetry: a
+        :class:`~repro.observe.telemetry.Telemetry` collector to feed,
+        ``True`` for a fresh collector with the default heartbeat
+        interval, ``False`` to force telemetry off, or ``None``
+        (default) to join an active ``use_telemetry`` scope if one
+        exists. Telemetry is digest-neutral by contract: heartbeats
+        never emit trace events, never consume simulation randomness,
+        and keep every wall-clock quantity in the sample's ``wall``
+        sidecar, so all recorded digests are bit-identical with
+        telemetry on or off (enforced by tests and CI).
     """
 
     pow_params: PoWParameters = field(default_factory=PoWParameters.one_block_per_minute)
@@ -165,6 +182,7 @@ class ProtocolConfig:
     max_events: int | None = None
     delivery_waves: bool = True
     mining_calendar: bool = True
+    telemetry: Telemetry | bool | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ("fast", "legacy", "shard_parallel"):
@@ -229,6 +247,9 @@ class ProtocolResult:
     evicted: int = 0
     # The run's trace when observability was enabled (None otherwise).
     trace: Tracer | None = None
+    # Per-shard load accounting + cross-shard traffic matrix, built
+    # when telemetry was enabled for the run (None otherwise).
+    shard_stats: ShardStats | None = None
 
     def confirmed_count(self) -> int:
         return len(self.confirmed_tx_ids)
@@ -284,6 +305,11 @@ class ProtocolSimulation:
         self._transactions = list(transactions)
         self._behaviors = behaviors or {}
         self._tracer = resolve_tracer(self._config.trace)
+        self._telemetry = resolve_telemetry(self._config.telemetry)
+        # Per-shard [forged, empty] block counts and the home→executed
+        # traffic matrix, accumulated only when telemetry is on.
+        self._shard_blocks: dict[int, list[int]] = {}
+        self._traffic: dict[int, dict[int, int]] = {}
         # Per-transaction lineage events (tx.seen / tx_idx inclusion
         # lists / tx.confirmed) are opt-in via Tracer(lineage=True):
         # default traces — and every recorded digest baseline — are
@@ -622,6 +648,11 @@ class ProtocolSimulation:
         """The run's resolved tracer (None when tracing is off)."""
         return self._tracer
 
+    @property
+    def telemetry(self) -> Telemetry | None:
+        """The run's resolved telemetry collector (None when off)."""
+        return self._telemetry
+
     def node(self, public: str) -> FullNode:
         return self._nodes[public]
 
@@ -765,6 +796,27 @@ class ProtocolSimulation:
                 probe()
                 return inner_drained()
 
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.start()
+            interval = telemetry.heartbeat_interval
+            if interval is not None:
+                # A self-re-arming probe event. Digest-neutral: the
+                # callback only *reads* simulation state (stop
+                # conditions are pure reads re-evaluated after every
+                # event, and the lineage probe's version stamp sees no
+                # head movement), emits no trace events, and draws no
+                # randomness. Extra scheduler entries shift only the
+                # wall-sidecar counters (events_fired, peak_pending).
+                horizon = self._config.max_duration
+
+                def beat() -> None:
+                    self._sample_heartbeat(telemetry)
+                    if self._scheduler.now + interval <= horizon:
+                        self._scheduler.schedule_in(interval, beat)
+
+                self._scheduler.schedule_in(interval, beat)
+
         self._scheduler.run(
             until=self._config.max_duration,
             stop_condition=drained,
@@ -833,6 +885,17 @@ class ProtocolSimulation:
             )
             if evicted:
                 tracer.metrics.gauge("protocol.txs_evicted").set(evicted)
+                for shard, count in sorted(
+                    self._evictions_by_shard().items()
+                ):
+                    tracer.metrics.gauge(
+                        f"mempool.evictions.shard{shard}"
+                    ).set(count)
+        shard_stats: ShardStats | None = None
+        if telemetry is not None:
+            self._sample_heartbeat(telemetry)  # final snapshot
+            shard_stats = self._build_shard_stats()
+            telemetry.shard_stats = shard_stats
         return ProtocolResult(
             duration=self._scheduler.now,
             confirmed_tx_ids=confirmed,
@@ -847,7 +910,85 @@ class ProtocolSimulation:
             fault_stats=stats,
             evicted=evicted,
             trace=tracer,
+            shard_stats=shard_stats,
         )
+
+    # ------------------------------------------------------------------
+    # telemetry (digest-neutral: pure reads, no trace events, no RNG)
+    # ------------------------------------------------------------------
+    def _sample_heartbeat(self, telemetry: Telemetry) -> None:
+        """One heartbeat snapshot of live simulation state."""
+        pool_depths: dict[int, int] = {}
+        evicted = 0
+        for node in self._nodes.values():
+            depth = len(node.mempool)
+            shard = node.shard_id
+            if depth > pool_depths.get(shard, -1):
+                pool_depths[shard] = depth
+            evicted += node.mempool.evictions
+        injected = (
+            self._injected
+            if self._stream is not None
+            else len(self._transactions)
+        )
+        confirmed = sum(self._per_shard_confirmed().values())
+        telemetry.heartbeat(
+            time=self._scheduler.now,
+            injected=injected,
+            confirmed=confirmed,
+            evicted=evicted,
+            pool_depths=pool_depths,
+            events_fired=self._scheduler.events_fired,
+            pending=getattr(self._scheduler, "pending", None),
+            peak_pending=getattr(self._scheduler, "peak_pending", None),
+        )
+
+    def _evictions_by_shard(self) -> dict[int, int]:
+        by_shard: dict[int, int] = {}
+        for node in self._nodes.values():
+            if node.mempool.evictions:
+                by_shard[node.shard_id] = (
+                    by_shard.get(node.shard_id, 0) + node.mempool.evictions
+                )
+        return by_shard
+
+    def _build_shard_stats(self) -> ShardStats:
+        """Assemble the per-shard load picture at run end."""
+        stats = ShardStats()
+        per_shard = self._per_shard_confirmed()
+        pool_peaks: dict[int, int] = {}
+        pool_evictions: dict[int, int] = {}
+        for node in self._nodes.values():
+            shard = node.shard_id
+            pool_peaks[shard] = max(
+                pool_peaks.get(shard, 0), node.mempool.peak
+            )
+            pool_evictions[shard] = (
+                pool_evictions.get(shard, 0) + node.mempool.evictions
+            )
+        for shard in sorted(
+            set(per_shard) | set(self._shard_blocks) | set(pool_peaks)
+        ):
+            entry = stats.load(shard)
+            forged, empty = self._shard_blocks.get(shard, (0, 0))
+            entry.blocks_forged = forged
+            entry.blocks_empty = empty
+            entry.txs_confirmed = per_shard.get(shard, 0)
+            entry.mempool_peak = pool_peaks.get(shard, 0)
+            entry.evictions = pool_evictions.get(shard, 0)
+        if self._stream is not None:
+            # Streaming: the matrix was accumulated at injection time
+            # (classification follows the evolving call graph).
+            for home, row in self._traffic.items():
+                for executed, count in row.items():
+                    stats.record_route(home, executed, count)
+        else:
+            # List workloads: the call graph observed every transaction
+            # before the run, so post-hoc classification is exact.
+            stats.traffic = build_traffic_matrix(
+                self._transactions, self._shard_map, self._callgraph
+            )
+        return stats
 
     def _make_lineage_probe(self):
         """Detector for the confirmation edge of transaction lineages.
@@ -992,11 +1133,21 @@ class ProtocolSimulation:
         callgraph = self._callgraph
         shard_nodes = self._shard_nodes
         balance = self._config.initial_balance
+        telemetry = self._telemetry
+        contract_to_shard = self._shard_map.contract_to_shard
         for tx in batch:
             # The coordinator's call graph must see the edge before the
             # shard rule can classify the sender (observe is idempotent).
             callgraph.observe(tx)
             shard = classifier(tx)
+            if telemetry is not None:
+                home = (
+                    contract_to_shard.get(tx.contract, MAXSHARD_ID)
+                    if tx.contract is not None
+                    else MAXSHARD_ID
+                )
+                row = self._traffic.setdefault(home, {})
+                row[shard] = row.get(shard, 0) + 1
             for node in shard_nodes.get(shard, ()):
                 state = node.state
                 if not state.has_account(tx.sender):
@@ -1193,6 +1344,11 @@ class ProtocolSimulation:
         # packers compact confirmed ids); honest behaviors no-op.
         node.behavior.note_confirmed(node.ledger.confirmed_tx_ids())
         self._rewards.credit_block(block)
+        if self._telemetry is not None:
+            entry = self._shard_blocks.setdefault(node.shard_id, [0, 0])
+            entry[0] += 1
+            if not block.transactions:
+                entry[1] += 1
         if self._tracer is not None:
             # The per-shard confirmation timeline: every forged block
             # records how far its shard's confirmations have advanced.

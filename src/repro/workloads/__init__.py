@@ -23,6 +23,7 @@ from repro.workloads.generators import (
     WorkloadBuilder,
     single_shard_workload,
     small_shard_workload,
+    streaming_powerlaw_contract_workload,
     streaming_single_shard_workload,
     streaming_uniform_contract_workload,
     three_input_workload,
@@ -34,6 +35,7 @@ __all__ = [
     "TxStream",
     "WorkloadBuilder",
     "uniform_contract_workload",
+    "streaming_powerlaw_contract_workload",
     "streaming_uniform_contract_workload",
     "streaming_single_shard_workload",
     "small_shard_workload",

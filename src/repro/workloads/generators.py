@@ -327,6 +327,138 @@ def streaming_uniform_contract_workload(
     )
 
 
+def _powerlaw_counts(
+    total: int, contract_shards: int, alpha: float
+) -> list[int]:
+    """Largest-remainder apportionment of ``total`` over Zipf weights.
+
+    Contract shard ``k`` (slot ``k``, 1-based rank) gets weight
+    ``1 / k**alpha``; the MaxShard slot (direct transfers) takes the
+    coldest rank, ``contract_shards + 1`` — skewed workloads exist to
+    stress *contract* placement, so plain transfers stay a minority.
+    Floors first, then the largest fractional remainders win the
+    leftover transactions (ties to the lower slot) — deterministic, and
+    the counts always sum to ``total`` exactly.
+    """
+    ranks = [contract_shards + 1] + list(range(1, contract_shards + 1))
+    weights = [1.0 / rank**alpha for rank in ranks]
+    scale = total / sum(weights)
+    quotas = [weight * scale for weight in weights]
+    counts = [int(quota) for quota in quotas]
+    remainders = sorted(
+        range(len(quotas)),
+        key=lambda s: (-(quotas[s] - counts[s]), s),
+    )
+    for s in remainders[: total - sum(counts)]:
+        counts[s] += 1
+    return counts
+
+
+def streaming_powerlaw_contract_workload(
+    total_txs: int,
+    contract_shards: int,
+    alpha: float = 1.0,
+    fee_low: int = 1,
+    fee_high: int = 100,
+    seed: int | None = None,
+    senders_per_shard: int | None = None,
+) -> TxStream:
+    """A Zipf-skewed contract workload as a bounded-memory stream.
+
+    The hotspot generator behind the telemetry walkthrough: contract
+    shard ``k`` receives a ``1 / k**alpha`` share of the calls (shard 1
+    is the hot shard; ``alpha=0`` degenerates to uniform), with direct
+    transfers the coldest slice. Emission order is a deterministic
+    error-diffusion interleave — at every prefix each slice has
+    received its proportional share, rounded — so *paced* streaming
+    injection offers each shard its steady-state rate instead of
+    firehosing slices one at a time (see
+    :func:`streaming_uniform_contract_workload` on why order matters).
+
+    ``senders_per_shard`` bounds each slice's account population with
+    the same strictly decreasing fee ladder (and the same loud refusal
+    when the hot slice's nonce chains would outrun the ladder) as the
+    uniform stream.
+    """
+    if total_txs < 0:
+        raise WorkloadError("total_txs cannot be negative")
+    if contract_shards < 1:
+        raise WorkloadError("powerlaw workload needs at least one contract shard")
+    if alpha < 0:
+        raise WorkloadError(f"alpha cannot be negative: {alpha}")
+    if senders_per_shard is not None and senders_per_shard < 1:
+        raise WorkloadError("senders_per_shard must be positive")
+    shard_slots = contract_shards + 1
+    counts = _powerlaw_counts(total_txs, contract_shards, alpha)
+    contracts = tuple(
+        _contract_address(index + 1) for index in range(contract_shards)
+    )
+    fee_span = fee_high - fee_low + 1
+    if senders_per_shard is not None:
+        depth = -(-max(counts) // senders_per_shard)  # ceil division
+        if depth > fee_span:
+            raise WorkloadError(
+                f"senders_per_shard={senders_per_shard} gives the hot "
+                f"shard's senders up to {depth} nonces but the fee ladder "
+                f"only spans {fee_span} rungs ({fee_low}..{fee_high}); use "
+                f"at least {-(-max(counts) // fee_span)} senders per shard"
+            )
+
+    def slot(i: int) -> int:
+        return i if senders_per_shard is None else i % senders_per_shard
+
+    def fee_of(i: int, drawn: int) -> int:
+        if senders_per_shard is None:
+            return drawn
+        return fee_high - (i // senders_per_shard) % fee_span
+
+    def factory() -> Iterator[Transaction]:
+        builder = WorkloadBuilder(seed=seed)
+        fee_iter = uniform_fee_stream(fee_low, fee_high, seed=seed)
+
+        def make(shard_slot: int, pos: int) -> Transaction:
+            fee = fee_of(pos, next(fee_iter))
+            if shard_slot == 0:
+                return builder.direct_transfer(
+                    _user_address(f"pmax-{seed}-{slot(pos)}"),
+                    _user_address(f"pmaxdst-{seed}-{slot(pos)}"),
+                    fee=fee,
+                )
+            return builder.contract_call(
+                _user_address(f"p{shard_slot}-{seed}-{slot(pos)}"),
+                contracts[shard_slot - 1],
+                fee=fee,
+            )
+
+        # Error-diffusion interleave: after g emissions, slice s has
+        # emitted round(counts[s] * g / total) ± 1 — emit next from the
+        # slice furthest behind its proportional quota (ties to the
+        # lower slot). Deterministic, no RNG draw.
+        emitted = [0] * shard_slots
+        for g in range(total_txs):
+            deficit, pick = None, 0
+            for s in range(shard_slots):
+                lag = counts[s] * (g + 1) - emitted[s] * total_txs
+                if emitted[s] < counts[s] and (deficit is None or lag > deficit):
+                    deficit, pick = lag, s
+            yield make(pick, emitted[pick])
+            emitted[pick] += 1
+
+    population = (
+        "" if senders_per_shard is None else f", senders={senders_per_shard}"
+    )
+    return TxStream(
+        total=total_txs,
+        contracts=contracts,
+        shard_counts={index: count for index, count in enumerate(counts)},
+        factory=factory,
+        description=(
+            f"powerlaw_contract(total={total_txs}, shards={contract_shards}, "
+            f"alpha={alpha:g}, seed={seed}{population})"
+        ),
+    )
+
+
 def streaming_single_shard_workload(
     count: int,
     fee_low: int = 1,
